@@ -1,0 +1,184 @@
+(* The iron command-line tool: run the paper's experiments from a shell.
+
+     iron fingerprint [FS]...      failure-policy matrices (Figure 2/3)
+     iron summary                  Table 5 technique summary
+     iron bench                    Table 6 overheads
+     iron space                    space overheads
+     iron scrub                    the scrubbing demo
+     iron robust                   detected-and-recovered counts *)
+
+open Cmdliner
+
+let brands =
+  [
+    ("ext3", Iron_ext3.Ext3.std);
+    ("reiserfs", Iron_reiserfs.Reiserfs.brand);
+    ("jfs", Iron_jfs.Jfs.brand);
+    ("ntfs", Iron_ntfs.Ntfs.brand);
+    ("ixt3", Iron_ext3.Ext3.ixt3);
+  ]
+
+let brand_conv =
+  let parse s =
+    match List.assoc_opt s brands with
+    | Some b -> Ok b
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown file system %S (try: %s)" s
+                       (String.concat ", " (List.map fst brands))))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Iron_vfs.Fs.brand_name b))
+
+let fs_args =
+  Arg.(value & pos_all brand_conv [ Iron_ext3.Ext3.std ]
+       & info [] ~docv:"FS" ~doc:"File systems to fingerprint.")
+
+let fingerprint_cmd =
+  let run fses =
+    List.iter
+      (fun brand ->
+        let report = Iron_core.Driver.fingerprint brand in
+        Format.printf "%a@." Iron_core.Render.pp_report report;
+        Format.printf "fired=%d detected+recovered=%d@.@."
+          (Iron_core.Driver.experiments_run report)
+          (Iron_core.Driver.detected_and_recovered report))
+      fses
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:"Inject type-aware faults beneath a file system and print its failure-policy matrices (the paper's Figures 2 and 3).")
+    Term.(const run $ fs_args)
+
+let summary_cmd =
+  let run () =
+    let reports =
+      List.map
+        (fun (_, b) -> Iron_core.Driver.fingerprint b)
+        (List.filter (fun (n, _) -> n <> "ntfs" && n <> "ixt3") brands)
+    in
+    Format.printf "%a@." Iron_core.Render.pp_summary (Iron_core.Render.summarize reports)
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Table 5: which IRON techniques each file system uses.")
+    Term.(const run $ const ())
+
+let bench_cmd =
+  let run () =
+    Format.printf "%a@." Iron_workloads.Table6.pp (Iron_workloads.Table6.compute ())
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Table 6: time overheads of the 32 ixt3 feature combinations under SSH-Build, Web, PostMark and TPC-B.")
+    Term.(const run $ const ())
+
+let space_cmd =
+  let run () =
+    Format.printf "%a@." Iron_workloads.Space.pp (Iron_workloads.Space.measure ())
+  in
+  Cmd.v
+    (Cmd.info "space" ~doc:"Space overheads of checksums, replication and parity.")
+    Term.(const run $ const ())
+
+let robust_cmd =
+  let run () =
+    List.iter
+      (fun (name, brand) ->
+        let r = Iron_core.Driver.fingerprint brand in
+        Format.printf "%-10s fired=%d detected+recovered=%d@." name
+          (Iron_core.Driver.experiments_run r)
+          (Iron_core.Driver.detected_and_recovered r))
+      brands
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Count fault scenarios each file system detects and recovers from.")
+    Term.(const run $ const ())
+
+let scrub_cmd =
+  let run () =
+    (* Build a damaged ixt3 volume and scrub it. *)
+    let module Memdisk = Iron_disk.Memdisk in
+    let module Fault = Iron_fault.Fault in
+    let module Fs = Iron_vfs.Fs in
+    let disk = Memdisk.create () in
+    Memdisk.set_time_model disk false;
+    let inj = Fault.create (Memdisk.dev disk) in
+    let dev = Fault.dev inj in
+    let brand = Iron_ixt3.Ixt3.full in
+    (match Fs.mkfs brand dev with Ok () -> () | Error _ -> failwith "mkfs");
+    (match Fs.mount brand dev with
+    | Ok (Fs.Boxed ((module F), t) as boxed) ->
+        (match Iron_core.Workload.fixture boxed with
+        | Ok () -> ()
+        | Error _ -> failwith "fixture");
+        ignore (F.unmount t)
+    | Error _ -> failwith "mount");
+    let classify = Iron_ext3.Classifier.classify (Memdisk.peek disk) in
+    let first_with label =
+      let rec go b =
+        if b >= 2048 then None
+        else if classify b = label then Some b
+        else go (b + 1)
+      in
+      go 0
+    in
+    List.iter
+      (fun label ->
+        match first_with label with
+        | Some b ->
+            ignore
+              (Fault.arm inj
+                 (Fault.rule ~persistence:Fault.Until_write (Fault.Block b)
+                    Fault.Fail_read));
+            Printf.printf "injected latent error under %s block %d\n" label b
+        | None -> ())
+      [ "inode"; "dir"; "data" ];
+    match Iron_ixt3.Scrub.run Iron_ext3.Profile.ixt3 dev with
+    | Ok r -> Format.printf "%a@." Iron_ixt3.Scrub.pp_report r
+    | Error e -> Format.printf "scrub failed: %a@." Iron_vfs.Errno.pp e
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Demonstrate eager detection: damage an ixt3 volume, then scrub and repair it.")
+    Term.(const run $ const ())
+
+let fsck_cmd =
+  let run () =
+    (* Build a volume, damage its bitmap, then check and repair. *)
+    let module Memdisk = Iron_disk.Memdisk in
+    let module Fs = Iron_vfs.Fs in
+    let disk = Memdisk.create () in
+    Memdisk.set_time_model disk false;
+    let dev = Memdisk.dev disk in
+    (match Fs.mkfs Iron_ext3.Ext3.std dev with Ok () -> () | Error _ -> failwith "mkfs");
+    (match Fs.mount Iron_ext3.Ext3.std dev with
+    | Ok (Fs.Boxed ((module F), t) as boxed) ->
+        (match Iron_core.Workload.fixture boxed with
+        | Ok () -> ()
+        | Error _ -> failwith "fixture");
+        ignore (F.unmount t)
+    | Error _ -> failwith "mount");
+    let lay = Iron_ext3.Ext3.layout_of_dev dev in
+    let bb = Iron_ext3.Layout.bitmap_block lay 0 in
+    let buf = Memdisk.peek disk bb in
+    Bytes.set buf 20 '\xFF';
+    Memdisk.poke disk bb buf;
+    Printf.printf "scribbled on the group-0 block bitmap; running fsck --repair:\n";
+    (match Iron_ext3.Fsck.run ~repair:true dev with
+    | Ok r -> Format.printf "%a@." Iron_ext3.Fsck.pp_report r
+    | Error e -> Format.printf "fsck failed: %a@." Iron_vfs.Errno.pp e);
+    match Iron_ext3.Fsck.run dev with
+    | Ok r -> Format.printf "re-check: %a@." Iron_ext3.Fsck.pp_report r
+    | Error e -> Format.printf "fsck failed: %a@." Iron_vfs.Errno.pp e
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Demonstrate RRepair: cross-check a volume's structures and repair inconsistencies.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "IRON file systems: fault injection, fingerprinting and the ixt3 prototype" in
+  let info = Cmd.info "iron" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd; scrub_cmd; fsck_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_tour.ml: Bytes Char Format Iron_disk Iron_fault List Printf

@@ -1,0 +1,1 @@
+examples/fingerprint_ext3.ml: Array Format Iron_core Iron_ext3 Iron_jfs Iron_ntfs Iron_reiserfs List Printf String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Iron_disk Iron_ixt3 Iron_vfs List Printf String

@@ -1,0 +1,1 @@
+examples/robust_storage.ml: Bytes Char Fun Iron_disk Iron_ext3 Iron_fault Iron_ixt3 Iron_vfs List Printf String

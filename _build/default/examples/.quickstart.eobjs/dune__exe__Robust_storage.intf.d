@@ -1,0 +1,1 @@
+examples/robust_storage.mli:

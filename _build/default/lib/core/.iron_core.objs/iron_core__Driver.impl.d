@@ -1,0 +1,1 @@
+lib/core/driver.ml: Hashtbl Iron_disk Iron_fault Iron_vfs List Result String Taxonomy Workload

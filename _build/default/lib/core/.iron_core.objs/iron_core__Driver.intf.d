@@ -1,0 +1,1 @@
+lib/core/driver.mli: Iron_fault Iron_vfs Taxonomy Workload

@@ -1,0 +1,1 @@
+lib/core/render.ml: Driver Format Hashtbl List Option String Taxonomy

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Bytes Char Iron_vfs List Printf Result String

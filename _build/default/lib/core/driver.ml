@@ -1,0 +1,426 @@
+module Memdisk = Iron_disk.Memdisk
+module Fault = Iron_fault.Fault
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Klog = Iron_vfs.Klog
+
+type cell = {
+  applicable : bool;
+  fired : int;
+  detection : Taxonomy.detection list;
+  recovery : Taxonomy.recovery list;
+  note : string;
+}
+
+let empty_cell =
+  { applicable = false; fired = 0; detection = []; recovery = []; note = "" }
+
+type matrix = {
+  fs_name : string;
+  fault : Taxonomy.fault_kind;
+  rows : string list;
+  cols : char list;
+  cell : string -> char -> cell;
+}
+
+type report = {
+  name : string;
+  block_types : string list;
+  matrices : matrix list;
+}
+
+(* What we could observe from one faulted run (§4.3's visible outputs). *)
+type observation = {
+  api : (unit, Errno.t) result;
+  panicked : bool;
+  readonly : bool;
+  mount_failed : bool;
+  klog : Klog.entry list;
+  verify_failed : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Running one workload against a (possibly faulty) device             *)
+(* ------------------------------------------------------------------ *)
+
+(* [arm] is invoked at the start of the fault window; the injector's
+   trace is cleared there too, so the trace covers exactly the window. *)
+let run_workload brand inj dev (w : Workload.t) ~arm =
+  let catch_panic f =
+    try (f (), false) with Klog.Panic _ -> (Error Errno.EIO, true)
+  in
+  let klog_of (Fs.Boxed ((module F), t)) = Klog.entries (F.klog t) in
+  let ro_of (Fs.Boxed ((module F), t)) = F.is_readonly t in
+  let quiet_unmount (Fs.Boxed ((module F), t)) =
+    try ignore (F.unmount t) with Klog.Panic _ -> ()
+  in
+  match w.Workload.kind with
+  | Workload.Ops -> (
+      match Fs.mount brand dev with
+      | Error e ->
+          {
+            api = Error e;
+            panicked = false;
+            readonly = false;
+            mount_failed = true;
+            klog = [];
+            verify_failed = false;
+          }
+      | Ok boxed ->
+          arm ();
+          Fault.clear_trace inj;
+          let api, panicked = catch_panic (fun () -> w.Workload.run boxed) in
+          let verify_failed =
+            (not panicked) && api = Ok ()
+            &&
+            match w.Workload.verify with
+            | Some v -> ( try not (v boxed) with Klog.Panic _ -> false)
+            | None -> false
+          in
+          (* A panicked kernel does not get to unmount; otherwise the
+             unmount (with its checkpoint) is part of the observation
+             window — that is where ignored write errors surface. *)
+          let panicked =
+            panicked
+            ||
+            if panicked then false
+            else (
+              try
+                quiet_unmount boxed;
+                false
+              with Klog.Panic _ -> true)
+          in
+          {
+            api;
+            panicked;
+            readonly = ro_of boxed;
+            mount_failed = false;
+            klog = klog_of boxed;
+            verify_failed;
+          })
+  | Workload.Umount_op -> (
+      match Fs.mount brand dev with
+      | Error e ->
+          {
+            api = Error e;
+            panicked = false;
+            readonly = false;
+            mount_failed = true;
+            klog = [];
+            verify_failed = false;
+          }
+      | Ok (Fs.Boxed ((module F), t) as boxed) ->
+          let _pre, _ = catch_panic (fun () -> w.Workload.run boxed) in
+          arm ();
+          Fault.clear_trace inj;
+          let api, panicked = catch_panic (fun () -> F.unmount t) in
+          {
+            api;
+            panicked;
+            readonly = F.is_readonly t;
+            mount_failed = false;
+            klog = Klog.entries (F.klog t);
+            verify_failed = false;
+          })
+  | Workload.Mount_op | Workload.Recovery_op -> (
+      arm ();
+      Fault.clear_trace inj;
+      match catch_panic (fun () -> Result.map (fun b -> `Mounted b) (Fs.mount brand dev)) with
+      | Ok (`Mounted boxed), false ->
+          let obs =
+            {
+              api = Ok ();
+              panicked = false;
+              readonly = ro_of boxed;
+              mount_failed = false;
+              klog = klog_of boxed;
+              verify_failed = false;
+            }
+          in
+          quiet_unmount boxed;
+          obs
+      | Error e, panicked ->
+          {
+            api = Error e;
+            panicked;
+            readonly = false;
+            mount_failed = true;
+            klog = [];
+            verify_failed = false;
+          }
+      | Ok (`Mounted _), true -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let klog_mentions klog words =
+  List.exists
+    (fun (e : Klog.entry) ->
+      List.exists
+        (fun word ->
+          let msg = String.lowercase_ascii e.Klog.message in
+          let len = String.length word in
+          let rec scan i =
+            i + len <= String.length msg
+            && (String.sub msg i len = word || scan (i + 1))
+          in
+          scan 0)
+        words)
+    klog
+
+let infer fault (obs : observation) trace target =
+  let fired =
+    List.length
+      (List.filter
+         (fun (e : Fault.event) ->
+           e.Fault.block = target
+           &&
+           match e.Fault.outcome with
+           | Fault.Io_error _ -> fault <> Taxonomy.Corruption
+           | Fault.Io_corrupted -> fault = Taxonomy.Corruption
+           | Fault.Io_ok -> false)
+         trace)
+  in
+  if fired = 0 then
+    { applicable = true; fired = 0; detection = []; recovery = []; note = "no-trigger" }
+  else begin
+    let klog_errors =
+      List.exists (fun (e : Klog.entry) -> e.Klog.level = Klog.Error) obs.klog
+      || List.exists (fun (e : Klog.entry) -> e.Klog.level = Klog.Warning) obs.klog
+    in
+
+    (* Routine operation also touches replica and parity blocks (they
+       are written on every update), so trace presence is not evidence
+       of recovery; the file system's own recovery messages are. *)
+    let redundancy_access =
+      klog_mentions obs.klog
+        [ "replica"; "parity"; "alternate"; "recovered from copy" ]
+    in
+    (* Checksum machinery reads its tables on every verified access, so
+       trace presence alone is not evidence; the mismatch message is. *)
+    let checksum_detected = klog_mentions obs.klog [ "checksum" ] in
+    let reacted =
+      obs.api <> Ok () || obs.panicked || obs.readonly || obs.mount_failed
+      || klog_errors || redundancy_access
+    in
+    let detection =
+      match fault with
+      | Taxonomy.Read_failure | Taxonomy.Write_failure ->
+          if reacted then [ Taxonomy.DErrorCode ] else [ Taxonomy.DZero ]
+      | Taxonomy.Corruption ->
+          if checksum_detected then [ Taxonomy.DRedundancy ]
+          else if reacted then [ Taxonomy.DSanity ]
+          else [ Taxonomy.DZero ]
+    in
+    let recovery = ref [] in
+    let add r = if not (List.mem r !recovery) then recovery := r :: !recovery in
+    (* Retry = the same failed request reissued back-to-back. Distant
+       repeats (the same block written by two different checkpoints,
+       say) are independent uses, not retries. (Corrupted reads succeed,
+       so repeats there are ordinary re-reads, not retries.) *)
+    (match fault with
+    | Taxonomy.Read_failure | Taxonomy.Write_failure ->
+        let failed_seqs =
+          List.filter_map
+            (fun (e : Fault.event) ->
+              match e.Fault.outcome with
+              | Fault.Io_error _ when e.Fault.block = target -> Some e.Fault.seq
+              | Fault.Io_error _ | Fault.Io_ok | Fault.Io_corrupted -> None)
+            trace
+        in
+        let rec adjacent = function
+          | a :: (b :: _ as rest) -> b - a <= 1 || adjacent rest
+          | [ _ ] | [] -> false
+        in
+        if adjacent failed_seqs then add Taxonomy.RRetry
+    | Taxonomy.Corruption -> ());
+    if redundancy_access then add Taxonomy.RRedundancy;
+    if obs.panicked || obs.readonly || obs.mount_failed then add Taxonomy.RStop;
+    (match obs.api with Error _ when not obs.panicked -> add Taxonomy.RPropagate | _ -> ());
+    if obs.verify_failed then add Taxonomy.RGuess;
+    if klog_mentions obs.klog [ "repair" ] then add Taxonomy.RRepair;
+    if klog_mentions obs.klog [ "remapped" ] then add Taxonomy.RRemap;
+    let recovery =
+      match !recovery with [] -> [ Taxonomy.RZero ] | rs -> List.rev rs
+    in
+    let note =
+      match obs.api with
+      | Ok () -> if obs.panicked then "panic" else "ok"
+      | Error e -> Errno.to_string e
+    in
+    { applicable = true; fired; detection; recovery; note }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_num_blocks = 2048
+
+let fingerprint ?(faults = Taxonomy.all_fault_kinds) ?(workloads = Workload.all)
+    ?block_types ?(num_blocks = default_num_blocks)
+    ?(persistence = Fault.Sticky) (Fs.Brand (module F) as brand) =
+  let block_types =
+    match block_types with Some ts -> ts | None -> F.block_types
+  in
+  let disk =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks; seed = 0xF1D0 }
+      ()
+  in
+  Memdisk.set_time_model disk false;
+  let inj = Fault.create (Memdisk.dev disk) in
+  let dev = Fault.dev inj in
+  (* Base image: mkfs + fixture, cleanly unmounted. *)
+  (match Fs.mkfs brand dev with
+  | Ok () -> ()
+  | Error e -> failwith ("fingerprint: mkfs failed: " ^ Errno.to_string e));
+  (match Fs.mount brand dev with
+  | Error e -> failwith ("fingerprint: mount failed: " ^ Errno.to_string e)
+  | Ok (Fs.Boxed ((module M), t) as boxed) -> (
+      (match Workload.fixture boxed with
+      | Ok () -> ()
+      | Error e -> failwith ("fingerprint: fixture failed: " ^ Errno.to_string e));
+      match M.unmount t with
+      | Ok () -> ()
+      | Error e -> failwith ("fingerprint: unmount failed: " ^ Errno.to_string e)));
+  let base = Memdisk.snapshot disk in
+  (* Crash image for the recovery column. *)
+  (match Fs.mount brand dev with
+  | Error e -> failwith ("fingerprint: remount failed: " ^ Errno.to_string e)
+  | Ok boxed -> (
+      match Workload.crash_prep boxed with
+      | Ok () -> () (* instance abandoned: this is the crash *)
+      | Error e -> failwith ("fingerprint: crash prep failed: " ^ Errno.to_string e)));
+  let crash = Memdisk.snapshot disk in
+  let image_for (w : Workload.t) =
+    match w.Workload.kind with Workload.Recovery_op -> crash | _ -> base
+  in
+  (* Dry runs: learn, per workload, the labelled I/O trace. *)
+  let dry = Hashtbl.create 32 in
+  List.iter
+    (fun (w : Workload.t) ->
+      Memdisk.restore disk (image_for w);
+      Fault.disarm_all inj;
+      Fault.clear_trace inj;
+      let pre = F.classifier (Memdisk.peek disk) in
+      let _obs = run_workload brand inj dev w ~arm:(fun () -> ()) in
+      let post = F.classifier (Memdisk.peek disk) in
+      let label b =
+        let l = post b in
+        if l = "?" then pre b else l
+      in
+      (* Label the trace with the combined oracle. *)
+      let trace =
+        List.map
+          (fun (e : Fault.event) -> { e with Fault.label = label e.Fault.block })
+          (Fault.trace inj)
+      in
+      Hashtbl.replace dry w.Workload.col (trace, label))
+    workloads;
+  (* The faulted runs. *)
+  let results = Hashtbl.create 256 in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun (w : Workload.t) ->
+          let trace, label = Hashtbl.find dry w.Workload.col in
+          List.iter
+            (fun btype ->
+              let want_dir =
+                match fault with
+                | Taxonomy.Read_failure | Taxonomy.Corruption -> Fault.Read
+                | Taxonomy.Write_failure -> Fault.Write
+              in
+              let target =
+                List.find_opt
+                  (fun (e : Fault.event) ->
+                    e.Fault.dir = want_dir && e.Fault.label = btype)
+                  trace
+              in
+              let cell =
+                match target with
+                | None -> empty_cell
+                | Some e ->
+                    let target = e.Fault.block in
+                    Memdisk.restore disk (image_for w);
+                    Fault.disarm_all inj;
+                    Fault.clear_trace inj;
+                    Fault.set_classifier inj label;
+                    let kind =
+                      match fault with
+                      | Taxonomy.Read_failure -> Fault.Fail_read
+                      | Taxonomy.Write_failure -> Fault.Fail_write
+                      | Taxonomy.Corruption ->
+                          Fault.Corrupt
+                            (match F.corrupt_field btype with
+                            | Some tweak -> Fault.Tweak tweak
+                            | None -> Fault.Noise (target lxor 0xBAD))
+                    in
+                    let arm () =
+                      ignore
+                        (Fault.arm inj
+                           (Fault.rule ~persistence (Fault.Block target) kind))
+                    in
+                    let obs = run_workload brand inj dev w ~arm in
+                    let ftrace = Fault.trace inj in
+                    infer fault obs ftrace target
+              in
+              Hashtbl.replace results (fault, btype, w.Workload.col) cell)
+            block_types)
+        workloads)
+    faults;
+  let cols = List.map (fun (w : Workload.t) -> w.Workload.col) workloads in
+  let matrices =
+    List.map
+      (fun fault ->
+        {
+          fs_name = F.fs_name;
+          fault;
+          rows = block_types;
+          cols;
+          cell =
+            (fun row col ->
+              match Hashtbl.find_opt results (fault, row, col) with
+              | Some c -> c
+              | None -> empty_cell);
+        })
+      faults
+  in
+  { name = F.fs_name; block_types; matrices }
+
+let fold_cells report f init =
+  List.fold_left
+    (fun acc m ->
+      List.fold_left
+        (fun acc row ->
+          List.fold_left (fun acc col -> f acc (m.cell row col)) acc m.cols)
+        acc m.rows)
+    init report.matrices
+
+let experiments_run report =
+  fold_cells report (fun n c -> if c.fired > 0 then n + 1 else n) 0
+
+let detected_and_recovered report =
+  fold_cells report
+    (fun n c ->
+      if
+        c.fired > 0
+        && (not (List.mem Taxonomy.DZero c.detection))
+        && not (List.mem Taxonomy.RZero c.recovery)
+      then n + 1
+      else n)
+    0
+
+let detected_and_served report =
+  fold_cells report
+    (fun n c ->
+      if
+        c.fired > 0
+        && (not (List.mem Taxonomy.DZero c.detection))
+        && c.note = "ok"
+        && not (List.mem Taxonomy.RGuess c.recovery)
+      then n + 1
+      else n)
+    0

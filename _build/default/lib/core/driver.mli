@@ -1,0 +1,71 @@
+(** The failure-policy fingerprinting engine (paper §4).
+
+    For one file-system brand, the driver:
+
+    + builds a base image (mkfs + the standard {!Workload.fixture}, plus
+      a crash image for the recovery column);
+    + dry-runs each workload, tracing and type-classifying every I/O to
+      learn which block of each type the workload touches and how;
+    + for each (block type, workload, fault kind) with a candidate
+      target, restores the image, arms one fault just below the file
+      system and re-runs;
+    + infers the detection and recovery techniques from the three
+      observables of §4.3 — API results, the kernel log, and the
+      low-level I/O trace.
+
+    Everything is deterministic: the same brand and seed give the same
+    matrices. *)
+
+type cell = {
+  applicable : bool;  (** a target block of this type was accessed *)
+  fired : int;  (** times the armed fault actually triggered *)
+  detection : Taxonomy.detection list;
+  recovery : Taxonomy.recovery list;
+  note : string;  (** e.g. the errno returned, for human inspection *)
+}
+
+val empty_cell : cell
+
+type matrix = {
+  fs_name : string;
+  fault : Taxonomy.fault_kind;
+  rows : string list;  (** block types *)
+  cols : char list;  (** workload columns, a–t *)
+  cell : string -> char -> cell;
+}
+
+type report = {
+  name : string;
+  block_types : string list;
+  matrices : matrix list;  (** one per fault kind, in taxonomy order *)
+}
+
+val fingerprint :
+  ?faults:Taxonomy.fault_kind list ->
+  ?workloads:Workload.t list ->
+  ?block_types:string list ->
+  ?num_blocks:int ->
+  ?persistence:Iron_fault.Fault.persistence ->
+  Iron_vfs.Fs.brand ->
+  report
+(** Run the full campaign (defaults: all fault kinds, all twenty
+    workloads, all of the brand's block types, a 2048-block volume,
+    sticky faults). Pass [~persistence:(Transient 1)] to measure
+    tolerance of transient faults (§5.6: "retry is underutilized") —
+    a fault that clears on the second attempt is absorbed exactly by
+    the file systems that retry. *)
+
+val experiments_run : report -> int
+(** Number of (type, workload, fault) scenarios that actually fired. *)
+
+val detected_and_recovered : report -> int
+(** Scenarios where the fault fired, was detected (not DZero) and was
+    recovered by something stronger than silence. Note that stopping
+    (a panic) counts: ReiserFS scores high here by crashing. *)
+
+val detected_and_served : report -> int
+(** The stronger bar the paper's ixt3 claim is about (§6.2, "detects
+    and recovers from over 200 different partial-error scenarios"):
+    the fault fired, was detected, and the workload still completed
+    successfully — the failure was absorbed, not converted into a
+    crash or an error. *)

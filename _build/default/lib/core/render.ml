@@ -1,0 +1,149 @@
+let cell_symbols ~which (c : Driver.cell) =
+  if not c.Driver.applicable then "."
+  else if c.Driver.fired = 0 then "o"
+  else
+    let syms =
+      match which with
+      | `Detection ->
+          List.filter_map
+            (fun d ->
+              match Taxonomy.detection_symbol d with ' ' -> None | s -> Some s)
+            c.Driver.detection
+      | `Recovery ->
+          List.filter_map
+            (fun r ->
+              match Taxonomy.recovery_symbol r with ' ' -> None | s -> Some s)
+            c.Driver.recovery
+    in
+    match syms with
+    | [] -> " " (* DZero / RZero: an observed blank *)
+    | _ -> String.init (List.length syms) (List.nth syms)
+
+let pp_matrix ~which fmt (m : Driver.matrix) =
+  let kind = match which with `Detection -> "Detection" | `Recovery -> "Recovery" in
+  Format.fprintf fmt "%s %s under %s@." m.Driver.fs_name kind
+    (Taxonomy.fault_kind_name m.Driver.fault);
+  let row_w = 11 in
+  let cell_w =
+    (* Wide enough for the widest superposition in this matrix. *)
+    List.fold_left
+      (fun w row ->
+        List.fold_left
+          (fun w col ->
+            max w (String.length (cell_symbols ~which (m.Driver.cell row col))))
+          w m.Driver.cols)
+      1 m.Driver.rows
+  in
+  Format.fprintf fmt "%*s" row_w "";
+  List.iter (fun c -> Format.fprintf fmt " %*s" cell_w (String.make 1 c)) m.Driver.cols;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-*s" row_w row;
+      List.iter
+        (fun col ->
+          Format.fprintf fmt " %*s" cell_w (cell_symbols ~which (m.Driver.cell row col)))
+        m.Driver.cols;
+      Format.fprintf fmt "@.")
+    m.Driver.rows
+
+let pp_key fmt () =
+  Format.fprintf fmt
+    "key: detection  '-' error code  '|' sanity  '\\' redundancy  ' ' none@.";
+  Format.fprintf fmt
+    "     recovery   '-' propagate  '|' stop  '/' retry  '\\' redundancy@.";
+  Format.fprintf fmt
+    "                'g' guess  'r' repair  'm' remap  ' ' none@.";
+  Format.fprintf fmt
+    "     cells      '.' not applicable  'o' fault armed but never triggered@."
+
+let pp_report fmt (r : Driver.report) =
+  Format.fprintf fmt "=== Failure policy of %s ===@." r.Driver.name;
+  List.iter
+    (fun m ->
+      pp_matrix ~which:`Detection fmt m;
+      Format.fprintf fmt "@.";
+      pp_matrix ~which:`Recovery fmt m;
+      Format.fprintf fmt "@.")
+    r.Driver.matrices;
+  pp_key fmt ()
+
+type summary =
+  (string * (Taxonomy.detection * int) list * (Taxonomy.recovery * int) list) list
+
+let summarize reports =
+  List.map
+    (fun (r : Driver.report) ->
+      let dcount = Hashtbl.create 8 and rcount = Hashtbl.create 8 in
+      let bump tbl k =
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      in
+      List.iter
+        (fun (m : Driver.matrix) ->
+          List.iter
+            (fun row ->
+              List.iter
+                (fun col ->
+                  let c = m.Driver.cell row col in
+                  if c.Driver.fired > 0 then begin
+                    List.iter (bump dcount) c.Driver.detection;
+                    List.iter (bump rcount) c.Driver.recovery
+                  end)
+                m.Driver.cols)
+            m.Driver.rows)
+        r.Driver.matrices;
+      ( r.Driver.name,
+        List.map
+          (fun d -> (d, Option.value ~default:0 (Hashtbl.find_opt dcount d)))
+          Taxonomy.all_detections,
+        List.map
+          (fun rc -> (rc, Option.value ~default:0 (Hashtbl.find_opt rcount rc)))
+          Taxonomy.all_recoveries ))
+    reports
+
+(* Bucket raw frequencies into the paper's 0-4 checkmark scale. *)
+let checks total n =
+  if n = 0 then ""
+  else
+    let frac = float_of_int n /. float_of_int (max 1 total) in
+    let k =
+      if frac > 0.5 then 4
+      else if frac > 0.25 then 3
+      else if frac > 0.1 then 2
+      else 1
+    in
+    String.concat "" (List.init k (fun _ -> "*"))
+
+let pp_summary fmt (s : summary) =
+  let names = List.map (fun (n, _, _) -> n) s in
+  Format.fprintf fmt "Technique summary (Table 5): '*' = relative frequency@.";
+  Format.fprintf fmt "%-14s" "Level";
+  List.iter (fun n -> Format.fprintf fmt " %-10s" n) names;
+  Format.fprintf fmt "@.";
+  let total (r : Driver.report option) = ignore r in
+  ignore total;
+  let totals =
+    List.map
+      (fun (_, ds, _) -> List.fold_left (fun a (_, n) -> a + n) 0 ds)
+      s
+  in
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "%-14s" (Taxonomy.detection_name d);
+      List.iter2
+        (fun (_, ds, _) total ->
+          let n = List.assoc d ds in
+          Format.fprintf fmt " %-10s" (checks total n))
+        s totals;
+      Format.fprintf fmt "@.")
+    Taxonomy.all_detections;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-14s" (Taxonomy.recovery_name r);
+      List.iter2
+        (fun (_, _, rs) total ->
+          let n = List.assoc r rs in
+          Format.fprintf fmt " %-10s" (checks total n))
+        s totals;
+      Format.fprintf fmt "@.")
+    Taxonomy.all_recoveries

@@ -1,0 +1,24 @@
+(** Text rendering of fingerprints: the Figure-2/3 matrices and the
+    Table-5 technique summary. *)
+
+val pp_matrix :
+  which:[ `Detection | `Recovery ] -> Format.formatter -> Driver.matrix -> unit
+(** One grid: rows are block types, columns are workloads a–t. Cell
+    symbols follow the paper's key ({!Taxonomy.detection_symbol} /
+    {!Taxonomy.recovery_symbol}); multiple observed mechanisms are
+    superimposed left-to-right; ['.'] marks a gray (not-applicable)
+    cell, ['o'] an applicable cell whose fault never triggered. *)
+
+val pp_report : Format.formatter -> Driver.report -> unit
+(** The full Figure-2 block for one file system: detection and recovery
+    grids for each fault kind, plus the key. *)
+
+(** {2 Table 5} *)
+
+type summary = (string * (Taxonomy.detection * int) list * (Taxonomy.recovery * int) list) list
+(** Per file system: how often each technique was observed. *)
+
+val summarize : Driver.report list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Rendered with checkmark buckets like the paper's Table 5. *)

@@ -1,0 +1,57 @@
+type detection = DZero | DErrorCode | DSanity | DRedundancy
+
+type recovery =
+  | RZero
+  | RPropagate
+  | RStop
+  | RGuess
+  | RRetry
+  | RRepair
+  | RRemap
+  | RRedundancy
+
+let detection_name = function
+  | DZero -> "DZero"
+  | DErrorCode -> "DErrorCode"
+  | DSanity -> "DSanity"
+  | DRedundancy -> "DRedundancy"
+
+let recovery_name = function
+  | RZero -> "RZero"
+  | RPropagate -> "RPropagate"
+  | RStop -> "RStop"
+  | RGuess -> "RGuess"
+  | RRetry -> "RRetry"
+  | RRepair -> "RRepair"
+  | RRemap -> "RRemap"
+  | RRedundancy -> "RRedundancy"
+
+let detection_symbol = function
+  | DZero -> ' '
+  | DErrorCode -> '-'
+  | DSanity -> '|'
+  | DRedundancy -> '\\'
+
+let recovery_symbol = function
+  | RZero -> ' '
+  | RPropagate -> '-'
+  | RStop -> '|'
+  | RGuess -> 'g'
+  | RRetry -> '/'
+  | RRepair -> 'r'
+  | RRemap -> 'm'
+  | RRedundancy -> '\\'
+
+let all_detections = [ DZero; DErrorCode; DSanity; DRedundancy ]
+
+let all_recoveries =
+  [ RZero; RPropagate; RStop; RGuess; RRetry; RRepair; RRemap; RRedundancy ]
+
+type fault_kind = Read_failure | Write_failure | Corruption
+
+let fault_kind_name = function
+  | Read_failure -> "Read Failure"
+  | Write_failure -> "Write Failure"
+  | Corruption -> "Corruption"
+
+let all_fault_kinds = [ Read_failure; Write_failure; Corruption ]

@@ -1,0 +1,44 @@
+(** The IRON taxonomy (paper §3, Tables 1 and 2).
+
+    A file system's {e failure policy} is, per (workload, block type,
+    fault kind), the set of detection techniques and recovery techniques
+    it applies. Sets, not single values: the paper superimposes symbols
+    when multiple mechanisms are observed. *)
+
+type detection =
+  | DZero  (** no detection: the fault passes unnoticed *)
+  | DErrorCode  (** return codes from the layer below are checked *)
+  | DSanity  (** structural/type checks on the data itself *)
+  | DRedundancy  (** checksums or cross-copy comparison *)
+
+type recovery =
+  | RZero  (** no recovery, client not even told *)
+  | RPropagate  (** error surfaced to the caller *)
+  | RStop  (** crash / panic / read-only remount / abort *)
+  | RGuess  (** fabricated data returned as if valid *)
+  | RRetry  (** the failed operation is reissued *)
+  | RRepair  (** structures fixed in place (fsck-like) *)
+  | RRemap  (** block rewritten elsewhere *)
+  | RRedundancy  (** replica or parity used to reconstruct *)
+
+val detection_name : detection -> string
+val recovery_name : recovery -> string
+
+val detection_symbol : detection -> char
+(** Figure-2 key: [' '] DZero, ['-'] DErrorCode, ['|'] DSanity,
+    ['\\'] DRedundancy. *)
+
+val recovery_symbol : recovery -> char
+(** Figure-2 key: [' '] RZero, ['-'] RPropagate, ['|'] RStop,
+    ['/'] RRetry, ['\\'] RRedundancy, ['g'] RGuess, ['r'] RRepair,
+    ['m'] RRemap. *)
+
+val all_detections : detection list
+val all_recoveries : recovery list
+
+(** The three fault classes of the fail-partial model applied to a
+    single block (§2.3). *)
+type fault_kind = Read_failure | Write_failure | Corruption
+
+val fault_kind_name : fault_kind -> string
+val all_fault_kinds : fault_kind list

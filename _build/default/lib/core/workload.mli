@@ -1,0 +1,52 @@
+(** The fingerprinting workload suite (paper Table 3, Figure 2 columns).
+
+    Twenty columns, [a] through [t]: singlets that each stress one POSIX
+    entry point, plus the generic workloads (path traversal, mount,
+    unmount, FS recovery, log writes). Every workload runs against the
+    standard {!fixture} tree, which is built — per §4.1 — so that large
+    files exercise the indirect-pointer paths and directories span
+    blocks. *)
+
+type kind =
+  | Ops  (** mount, then run under fault, then unmount *)
+  | Mount_op  (** the fault window is the mount itself *)
+  | Umount_op  (** light activity, then the fault window is unmount *)
+  | Recovery_op  (** mount a crashed image: journal replay under fault *)
+
+type t = {
+  col : char;
+  name : string;
+  kind : kind;
+  run : Iron_vfs.Fs.boxed -> (unit, Iron_vfs.Errno.t) result;
+      (** The measured phase for [Ops]; the pre-unmount activity for
+          [Umount_op]; ignored for [Mount_op] and [Recovery_op]. *)
+  verify : (Iron_vfs.Fs.boxed -> bool) option;
+      (** Post-run data check; [false] with an [Ok] run marks RGuess. *)
+}
+
+val all : t list
+(** The twenty columns in paper order (a–t). *)
+
+val find : char -> t
+
+val fixture : Iron_vfs.Fs.boxed -> (unit, Iron_vfs.Errno.t) result
+(** Populate a fresh volume: directories two levels deep, small / medium
+    / large files (the large one reaches double-indirect blocks), a
+    symlink, link/rename/unlink/truncate victims. *)
+
+val crash_prep : Iron_vfs.Fs.boxed -> (unit, Iron_vfs.Errno.t) result
+(** Commit metadata into the journal without checkpointing; abandoning
+    the instance afterwards leaves a crash image whose mount must
+    replay. *)
+
+(** {2 Helpers shared with examples and benchmarks} *)
+
+val pattern : char -> int -> string
+(** Deterministic file contents: [pattern tag n]. *)
+
+val put :
+  Iron_vfs.Fs.boxed -> string -> string -> (unit, Iron_vfs.Errno.t) result
+(** Create a file with the given contents. *)
+
+val get : Iron_vfs.Fs.boxed -> string -> (string, Iron_vfs.Errno.t) result
+(** Read a whole file. *)

@@ -1,0 +1,1 @@
+lib/disk/bcache.ml: Bytes Dev Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/disk/bcache.mli: Dev

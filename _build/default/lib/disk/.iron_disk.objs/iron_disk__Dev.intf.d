@@ -1,0 +1,1 @@
+lib/disk/dev.mli: Format

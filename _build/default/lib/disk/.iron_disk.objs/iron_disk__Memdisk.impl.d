@@ -1,0 +1,1 @@
+lib/disk/memdisk.ml: Array Bytes Dev Iron_util

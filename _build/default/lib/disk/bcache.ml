@@ -1,0 +1,53 @@
+type t = {
+  device : Dev.t;
+  capacity : int;
+  table : (int, bytes) Hashtbl.t;
+  order : int Queue.t; (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 256) device =
+  { device; capacity; table = Hashtbl.create 64; order = Queue.create (); hits = 0; misses = 0 }
+
+let dev t = t.device
+
+let evict_if_full t =
+  while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
+    let victim = Queue.pop t.order in
+    Hashtbl.remove t.table victim
+  done
+
+let insert t b data =
+  if not (Hashtbl.mem t.table b) then begin
+    evict_if_full t;
+    Queue.push b t.order
+  end;
+  Hashtbl.replace t.table b (Bytes.copy data)
+
+let read t b =
+  match Hashtbl.find_opt t.table b with
+  | Some data ->
+      t.hits <- t.hits + 1;
+      Ok (Bytes.copy data)
+  | None -> (
+      t.misses <- t.misses + 1;
+      match t.device.Dev.read b with
+      | Ok data ->
+          insert t b data;
+          Ok data
+      | Error _ as e -> e)
+
+let write t b data =
+  insert t b data;
+  t.device.Dev.write b data
+
+let sync t = t.device.Dev.sync ()
+let invalidate t b = Hashtbl.remove t.table b
+
+let invalidate_all t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,29 @@
+(** A simple write-through block cache (the FS-side page cache).
+
+    Reads are served from memory when possible; writes update the cached
+    copy {e before} being issued to the device, so a failed device write
+    leaves memory new and disk stale — the page-cache behaviour behind
+    several of the paper's findings (e.g. ext3 silently ignoring write
+    errors, §5.1).
+
+    The cache evicts in FIFO order once [capacity] blocks are resident;
+    since it is write-through, eviction never loses data. *)
+
+type t
+
+val create : ?capacity:int -> Dev.t -> t
+(** Default capacity: 256 blocks. *)
+
+val dev : t -> Dev.t
+(** The underlying device, for uncached access. *)
+
+val read : t -> int -> (bytes, Dev.error) result
+(** Returns a copy; mutating it does not affect the cache. *)
+
+val write : t -> int -> bytes -> (unit, Dev.error) result
+val sync : t -> (unit, Dev.error) result
+val invalidate : t -> int -> unit
+val invalidate_all : t -> unit
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,25 @@
+type error = Eio | Enxio
+
+let error_to_string = function Eio -> "EIO" | Enxio -> "ENXIO"
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+type t = {
+  block_size : int;
+  num_blocks : int;
+  read : int -> (bytes, error) result;
+  write : int -> bytes -> (unit, error) result;
+  sync : unit -> (unit, error) result;
+  now : unit -> float;
+}
+
+let in_range t b = b >= 0 && b < t.num_blocks
+
+let read_exn t b =
+  match t.read b with
+  | Ok data -> data
+  | Error e -> failwith (Printf.sprintf "read %d: %s" b (error_to_string e))
+
+let write_exn t b data =
+  match t.write b data with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "write %d: %s" b (error_to_string e))

@@ -1,0 +1,39 @@
+(** The block-device interface seen by file systems.
+
+    A device is a record of operations so that layers (fault injection,
+    tracing) stack by wrapping: each layer forwards to the one below.
+    This mirrors the paper's storage stack (Figure 1), where the fault
+    injector is a pseudo-device driver interposed directly beneath the
+    file system. *)
+
+(** I/O errors a device can return. Silent corruption is deliberately
+    {e not} an error: a corrupting device returns [Ok] with bad data. *)
+type error =
+  | Eio  (** the request failed (latent sector error, transport fault…) *)
+  | Enxio  (** block number out of range *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type t = {
+  block_size : int;
+  num_blocks : int;
+  read : int -> (bytes, error) result;
+      (** [read b] returns a fresh buffer holding block [b]. *)
+  write : int -> bytes -> (unit, error) result;
+      (** [write b data] stores block [b]; [data] must be exactly
+          [block_size] bytes. *)
+  sync : unit -> (unit, error) result;
+      (** Barrier: all previous writes are durable when this returns.
+          On the simulated disk this charges the rotational wait that a
+          real ordering point costs — the cost transactional checksums
+          (§6.1) exist to avoid. *)
+  now : unit -> float;  (** simulated time, milliseconds *)
+}
+
+val in_range : t -> int -> bool
+
+val read_exn : t -> int -> bytes
+(** Convenience for setup and test code; raises [Failure] on error. *)
+
+val write_exn : t -> int -> bytes -> unit

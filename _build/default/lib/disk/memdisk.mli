@@ -1,0 +1,64 @@
+(** In-memory simulated disk with a service-time model.
+
+    The store is a flat array of blocks; the timing model captures the
+    three components that matter for the paper's Table 6 comparisons:
+
+    - {b seek}: moving the arm between distant blocks costs
+      [seek_min + seek_span * sqrt(distance / num_blocks)] ms;
+    - {b rotation}: after any seek, a uniformly random rotational wait in
+      [0, full_rotation) (drawn from the disk's own deterministic PRNG);
+      strictly sequential accesses stream with no rotational wait;
+    - {b transfer}: [block_size / bandwidth].
+
+    [sync] with dirty data pending charges half a rotation — the ordering
+    stall that a journaling file system pays between its journal-data
+    writes and its commit write, and that transactional checksums avoid. *)
+
+type params = {
+  block_size : int;  (** bytes per block (default 4096) *)
+  num_blocks : int;  (** default 2048 (an 8 MiB volume) *)
+  seek_min_ms : float;  (** track-to-track seek (default 0.8) *)
+  seek_span_ms : float;  (** extra for a full-stroke seek (default 7.2) *)
+  rotation_ms : float;  (** full revolution, 7200 RPM ~ 8.33 *)
+  bandwidth_mb_s : float;  (** media transfer rate (default 40.0) *)
+  seed : int;  (** PRNG seed for rotational positions *)
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> unit -> t
+val dev : t -> Dev.t
+
+(** {2 Statistics} *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  syncs : int;
+  seeks : int;  (** requests that required arm movement *)
+  elapsed_ms : float;  (** total simulated service time *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val set_time_model : t -> bool -> unit
+(** Disable ([false]) or enable the service-time model. Fingerprinting
+    campaigns disable it (they care about behaviour, not time); the
+    benchmark harness enables it. Default: enabled. *)
+
+(** {2 Raw access for setup, verification and snapshots}
+
+    These bypass the timing model and statistics. *)
+
+val peek : t -> int -> bytes
+val poke : t -> int -> bytes -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** [restore] also resets statistics and the simulated clock, giving
+    fingerprinting runs identical initial conditions. *)

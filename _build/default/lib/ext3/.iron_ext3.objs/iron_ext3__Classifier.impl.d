@@ -1,0 +1,1 @@
+lib/ext3/classifier.ml: Array Bytes Char Codec Dirent Hashtbl Inode Iron_util Jrec Layout List Sb

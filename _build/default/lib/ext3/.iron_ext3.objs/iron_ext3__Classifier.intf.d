@@ -1,0 +1,1 @@
+lib/ext3/classifier.mli:

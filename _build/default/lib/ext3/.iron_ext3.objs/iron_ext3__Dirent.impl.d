@@ -1,0 +1,1 @@
+lib/ext3/dirent.ml: Bytes Codec Iron_util Iron_vfs List String

@@ -1,0 +1,1 @@
+lib/ext3/ext3.ml: Array Bytes Char Classifier Codec Dirent Hashtbl Inode Iron_disk Iron_util Iron_vfs Jrec Layout List Profile Result Sb Sha1 String

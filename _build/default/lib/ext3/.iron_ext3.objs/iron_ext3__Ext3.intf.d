@@ -1,0 +1,1 @@
+lib/ext3/ext3.mli: Iron_disk Iron_vfs Layout Profile

@@ -1,0 +1,1 @@
+lib/ext3/fsck.ml: Array Bytes Char Codec Dirent Format Hashtbl Inode Iron_disk Iron_util Iron_vfs Layout List Option Printf Result Sb

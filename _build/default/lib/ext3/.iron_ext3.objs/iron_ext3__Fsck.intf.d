@@ -1,0 +1,1 @@
+lib/ext3/fsck.mli: Format Iron_disk Iron_vfs

@@ -1,0 +1,1 @@
+lib/ext3/inode.ml: Array Bytes Codec Iron_util Layout String

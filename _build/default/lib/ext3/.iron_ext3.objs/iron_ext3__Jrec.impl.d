@@ -1,0 +1,1 @@
+lib/ext3/jrec.ml: Bytes Codec Iron_util Layout List

@@ -1,0 +1,1 @@
+lib/ext3/layout.mli:

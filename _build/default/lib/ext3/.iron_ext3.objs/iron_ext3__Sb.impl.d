@@ -1,0 +1,1 @@
+lib/ext3/sb.ml: Codec Iron_util Iron_vfs Profile

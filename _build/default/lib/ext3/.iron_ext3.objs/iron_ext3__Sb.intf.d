@@ -1,0 +1,1 @@
+lib/ext3/sb.mli: Iron_vfs Profile

@@ -1,0 +1,17 @@
+(** Gray-box block-type oracle for ext3 volumes (§4.2).
+
+    Given raw access to the medium, labels every block with one of the
+    paper's thirteen ext3 block types (Table 4) — plus ["cksum"],
+    ["replica"] and ["parity"] for the ixt3 regions, and ["?"] for
+    blocks whose role cannot be determined (e.g. free data blocks).
+
+    The walk is defensive: it decodes whatever is on disk and never
+    raises, since it is also used on deliberately corrupted images. *)
+
+val block_types : string list
+(** The thirteen Figure-2 row labels, in paper order. *)
+
+val classify : (int -> bytes) -> int -> string
+
+val corrupt_field : string -> (bytes -> unit) option
+(** Type-aware "plausible but wrong" corruptions per block type. *)

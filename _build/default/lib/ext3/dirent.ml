@@ -1,0 +1,41 @@
+open Iron_util
+module Path = Iron_vfs.Path
+
+let entry_size name = 4 + 2 + String.length name
+
+let decode buf =
+  let r = Codec.reader buf in
+  let rec go acc =
+    if Codec.remaining r < 6 then List.rev acc
+    else
+      let ino = Codec.get_u32 r in
+      if ino = 0 then List.rev acc
+      else
+        let len = Codec.get_u16 r in
+        if len = 0 || len > Path.max_name || len > Codec.remaining r then
+          List.rev acc
+        else
+          let name = Codec.get_string r len in
+          go ((name, ino) :: acc)
+  in
+  go []
+
+let fits block_size entries =
+  let total = List.fold_left (fun a (n, _) -> a + entry_size n) 0 entries in
+  total + 4 <= block_size
+
+let encode buf entries =
+  Bytes.fill buf 0 (Bytes.length buf) '\000';
+  let w = Codec.writer buf in
+  let rec go = function
+    | [] -> true
+    | (name, ino) :: rest ->
+        if Codec.writer_pos w + entry_size name + 4 > Bytes.length buf then false
+        else begin
+          Codec.put_u32 w ino;
+          Codec.put_u16 w (String.length name);
+          Codec.put_string w name;
+          go rest
+        end
+  in
+  go entries

@@ -1,0 +1,34 @@
+(** Offline consistency checking and repair for ext3/ixt3 volumes — the
+    RRepair level of the taxonomy (§3.3: "a block that is not pointed
+    to, but is marked as allocated in a bitmap, could be freed"), and
+    the paper's point that even journaling file systems benefit from
+    periodic full-scan integrity checks (§3.1).
+
+    The checker cross-validates:
+    - the block bitmaps against the blocks actually reachable from live
+      inodes (leaked and doubly-allocated blocks);
+    - the inode bitmaps against inode kinds (orphaned/phantom inodes);
+    - directory entries against their target inodes (dangling entries);
+    - link counts against the number of directory entries referencing
+      each inode;
+    - inode sizes against the addressable maximum.
+
+    With [repair:true] it rewrites bitmaps and link counts to match
+    reality and drops dangling entries. The volume must not be mounted. *)
+
+type finding = {
+  severity : [ `Error | `Warning ];
+  message : string;
+  repaired : bool;
+}
+
+type report = {
+  findings : finding list;
+  clean : bool;  (** no errors found (warnings allowed) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?repair:bool -> Iron_disk.Dev.t -> (report, Iron_vfs.Errno.t) result
+(** Default [repair:false]: check only. *)

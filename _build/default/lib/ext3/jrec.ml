@@ -1,0 +1,97 @@
+open Iron_util
+
+let jsuper_magic = 0x4A535550 (* "JSUP" *)
+let desc_magic = 0x4A444553 (* "JDES" *)
+let commit_magic = 0x4A434F4D (* "JCOM" *)
+let revoke_magic = 0x4A524556 (* "JREV" *)
+
+type jsuper = { sequence : int; start : int }
+
+let encode_jsuper t buf =
+  Bytes.fill buf 0 (Bytes.length buf) '\000';
+  let w = Codec.writer buf in
+  Codec.put_u32 w jsuper_magic;
+  Codec.put_u32 w t.sequence;
+  Codec.put_u32 w t.start
+
+let decode_jsuper buf =
+  try
+    let r = Codec.reader buf in
+    if Codec.get_u32 r <> jsuper_magic then None
+    else
+      let sequence = Codec.get_u32 r in
+      let start = Codec.get_u32 r in
+      Some { sequence; start }
+  with Codec.Decode_error _ -> None
+
+type desc = { seq : int; tags : int list }
+
+let encode_desc t buf =
+  Bytes.fill buf 0 (Bytes.length buf) '\000';
+  let w = Codec.writer buf in
+  Codec.put_u32 w desc_magic;
+  Codec.put_u32 w t.seq;
+  Codec.put_u32 w (List.length t.tags);
+  List.iter (Codec.put_u32 w) t.tags
+
+let decode_desc buf =
+  try
+    let r = Codec.reader buf in
+    if Codec.get_u32 r <> desc_magic then None
+    else
+      let seq = Codec.get_u32 r in
+      let count = Codec.get_u32 r in
+      if count > (Bytes.length buf - 12) / 4 then None
+      else
+        let tags = List.init count (fun _ -> Codec.get_u32 r) in
+        Some { seq; tags }
+  with Codec.Decode_error _ -> None
+
+let max_tags lay = (lay.Layout.block_size - 12) / 4
+
+type commit = { cseq : int; checksum : string option }
+
+let encode_commit t buf =
+  Bytes.fill buf 0 (Bytes.length buf) '\000';
+  let w = Codec.writer buf in
+  Codec.put_u32 w commit_magic;
+  Codec.put_u32 w t.cseq;
+  match t.checksum with
+  | None -> Codec.put_u8 w 0
+  | Some d ->
+      Codec.put_u8 w 1;
+      Codec.put_string w d
+
+let decode_commit buf =
+  try
+    let r = Codec.reader buf in
+    if Codec.get_u32 r <> commit_magic then None
+    else
+      let cseq = Codec.get_u32 r in
+      let has = Codec.get_u8 r in
+      let checksum = if has = 1 then Some (Codec.get_string r 20) else None in
+      Some { cseq; checksum }
+  with Codec.Decode_error _ -> None
+
+type revoke = { rseq : int; revoked : int list }
+
+let encode_revoke t buf =
+  Bytes.fill buf 0 (Bytes.length buf) '\000';
+  let w = Codec.writer buf in
+  Codec.put_u32 w revoke_magic;
+  Codec.put_u32 w t.rseq;
+  Codec.put_u32 w (List.length t.revoked);
+  List.iter (Codec.put_u32 w) t.revoked
+
+let decode_revoke buf =
+  try
+    let r = Codec.reader buf in
+    if Codec.get_u32 r <> revoke_magic then None
+    else
+      let rseq = Codec.get_u32 r in
+      let count = Codec.get_u32 r in
+      if count > (Bytes.length buf - 12) / 4 then None
+      else
+        let revoked = List.init count (fun _ -> Codec.get_u32 r) in
+        Some { rseq; revoked }
+  with Codec.Decode_error _ -> None

@@ -1,0 +1,39 @@
+(** Journal-record codecs (a scaled-down JBD).
+
+    The journal occupies a fixed region: one journal superblock followed
+    by log space. A transaction is [descriptor; journaled copies...;
+    optional revoke; commit]. Every control block carries a magic and a
+    sequence number, which is exactly the sanity checking real ext3
+    performs on its journal (§5.1); journaled data blocks carry nothing,
+    so their corruption is silent unless transactional checksums (§6.1)
+    are enabled, in which case the commit block stores a SHA-1 over the
+    transaction's copies. *)
+
+val jsuper_magic : int
+val desc_magic : int
+val commit_magic : int
+val revoke_magic : int
+
+type jsuper = {
+  sequence : int;  (** sequence number of the oldest logged transaction *)
+  start : int;  (** journal-region block where that transaction begins *)
+}
+
+val encode_jsuper : jsuper -> bytes -> unit
+val decode_jsuper : bytes -> jsuper option
+
+type desc = { seq : int; tags : int list  (** home block numbers *) }
+
+val encode_desc : desc -> bytes -> unit
+val decode_desc : bytes -> desc option
+val max_tags : Layout.t -> int
+
+type commit = { cseq : int; checksum : string option  (** raw SHA-1 *) }
+
+val encode_commit : commit -> bytes -> unit
+val decode_commit : bytes -> commit option
+
+type revoke = { rseq : int; revoked : int list }
+
+val encode_revoke : revoke -> bytes -> unit
+val decode_revoke : bytes -> revoke option

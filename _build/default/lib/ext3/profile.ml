@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  check_write_errors : bool;
+  propagate_delete_errors : bool;
+  abort_on_journal_write_failure : bool;
+  sanity_check_linkcount : bool;
+  dir_read_retries : int;
+  meta_checksum : bool;
+  data_checksum : bool;
+  meta_replica : bool;
+  data_parity : bool;
+  txn_checksum : bool;
+  data_remap : bool;
+}
+
+let ext3 =
+  {
+    name = "ext3";
+    check_write_errors = false;
+    propagate_delete_errors = false;
+    abort_on_journal_write_failure = false;
+    sanity_check_linkcount = false;
+    dir_read_retries = 1;
+    meta_checksum = false;
+    data_checksum = false;
+    meta_replica = false;
+    data_parity = false;
+    txn_checksum = false;
+    data_remap = false;
+  }
+
+let ixt3_with ?(mc = false) ?(mr = false) ?(dc = false) ?(dp = false)
+    ?(tc = false) ?(rm = false) () =
+  {
+    name = "ixt3";
+    check_write_errors = true;
+    propagate_delete_errors = true;
+    abort_on_journal_write_failure = true;
+    sanity_check_linkcount = true;
+    dir_read_retries = 1;
+    meta_checksum = mc;
+    data_checksum = dc;
+    meta_replica = mr;
+    data_parity = dp;
+    txn_checksum = tc;
+    data_remap = rm;
+  }
+
+let ixt3 = ixt3_with ~mc:true ~mr:true ~dc:true ~dp:true ~tc:true ()
+
+let variant_label p =
+  let parts =
+    List.filter_map
+      (fun (on, l) -> if on then Some l else None)
+      [
+        (p.meta_checksum, "Mc");
+        (p.meta_replica, "Mr");
+        (p.data_checksum, "Dc");
+        (p.data_parity, "Dp");
+        (p.txn_checksum, "Tc");
+        (p.data_remap, "Rm");
+      ]
+  in
+  match parts with [] -> "(base)" | _ -> String.concat " " parts
+
+let any_iron p =
+  p.meta_checksum || p.data_checksum || p.meta_replica || p.data_parity
+  || p.txn_checksum || p.data_remap

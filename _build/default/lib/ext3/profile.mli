@@ -1,0 +1,56 @@
+(** Failure-policy and IRON-feature knobs.
+
+    The same implementation serves stock ext3 (with the paper's
+    documented bugs left in, §5.1) and the ixt3 family (§6). A profile
+    chooses which behaviours are active; the 32 rows of Table 6 are the
+    32 combinations of the five IRON feature bits. *)
+
+type t = {
+  name : string;
+  (* --- stock-ext3 failure-policy quirks (all are the paper's findings) *)
+  check_write_errors : bool;
+      (** [false]: write error codes are dropped on the floor (DZero);
+          checkpoint and data writes fail silently. *)
+  propagate_delete_errors : bool;
+      (** [false]: truncate/rmdir/unlink swallow read errors and return
+          success ("truncate and rmdir fail silently"). *)
+  abort_on_journal_write_failure : bool;
+      (** [false]: a failed journal-data write does not stop the commit
+          block from being written — the replay-corruption bug. *)
+  sanity_check_linkcount : bool;
+      (** [false]: unlink trusts links_count; a corrupted count panics
+          the kernel. *)
+  dir_read_retries : int;
+      (** Retries after a failed directory-block read (the prefetch-path
+          retry the paper observed). Stock ext3: 1. *)
+  (* --- IRON features (§6.1) *)
+  meta_checksum : bool;  (** Mc *)
+  data_checksum : bool;  (** Dc *)
+  meta_replica : bool;  (** Mr *)
+  data_parity : bool;  (** Dp *)
+  txn_checksum : bool;  (** Tc *)
+  data_remap : bool;
+      (** Rm — the taxonomy's RRemap (§3.3): a failed data-block write
+          is retried at a freshly allocated location and the file's
+          mapping updated. Not part of the paper's ixt3 prototype
+          (Figure 3 shows no remap); offered as the extension the
+          taxonomy calls for. *)
+}
+
+val ext3 : t
+(** Stock ext3: bugs present, no IRON features. *)
+
+val ixt3 : t
+(** All IRON features on, all bugs fixed. *)
+
+val ixt3_with :
+  ?mc:bool -> ?mr:bool -> ?dc:bool -> ?dp:bool -> ?tc:bool -> ?rm:bool ->
+  unit -> t
+(** An ixt3 variant with chosen features (defaults: all off). Bug fixes
+    are always applied: the paper notes that building ixt3 involved
+    fixing ext3's failure-handling bugs (§6.2). *)
+
+val variant_label : t -> string
+(** E.g. ["Mc Mr Dp"]; ["(ext3)"] for the all-off baseline. *)
+
+val any_iron : t -> bool

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Bytes Char Format Iron_disk Iron_util List

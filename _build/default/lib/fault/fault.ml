@@ -1,0 +1,206 @@
+type direction = Read | Write
+
+type corruption =
+  | Zeroes
+  | Noise of int
+  | Bit_flip of int
+  | Byte_shift
+  | Tweak of (bytes -> unit)
+
+type kind = Fail_read | Fail_write | Corrupt of corruption
+type persistence = Sticky | Transient of int | Until_write | After of int
+type target = Block of int | Range of int * int | Blocks of int list | Whole_disk
+type rule = { target : target; kind : kind; persistence : persistence }
+
+let rule ?(persistence = Sticky) target kind = { target; kind; persistence }
+
+type armed = {
+  id : int;
+  r : rule;
+  mutable count : int;
+  mutable seen : int; (* matching accesses, fired or not (for [After]) *)
+  mutable cleared : bool;
+}
+type rule_id = int
+
+type outcome = Io_ok | Io_error of Iron_disk.Dev.error | Io_corrupted
+
+type event = {
+  seq : int;
+  dir : direction;
+  block : int;
+  label : string;
+  outcome : outcome;
+}
+
+type t = {
+  below : Iron_disk.Dev.t;
+  mutable rules : armed list;
+  mutable next_id : int;
+  mutable classifier : int -> string;
+  mutable events : event list; (* newest first *)
+  mutable seq : int;
+  mutable tracing : bool;
+}
+
+let create below =
+  {
+    below;
+    rules = [];
+    next_id = 0;
+    classifier = (fun _ -> "?");
+    events = [];
+    seq = 0;
+    tracing = true;
+  }
+
+let arm t r =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.rules <- { id; r; count = 0; seen = 0; cleared = false } :: t.rules;
+  id
+
+let disarm t id = t.rules <- List.filter (fun a -> a.id <> id) t.rules
+let disarm_all t = t.rules <- []
+
+let fired t id =
+  match List.find_opt (fun a -> a.id = id) t.rules with
+  | Some a -> a.count
+  | None -> 0
+
+let set_classifier t f = t.classifier <- f
+let trace t = List.rev t.events
+let clear_trace t = t.events <- []
+let set_tracing t on = t.tracing <- on
+
+let matches_target target block =
+  match target with
+  | Block b -> b = block
+  | Range (lo, hi) -> block >= lo && block <= hi
+  | Blocks bs -> List.mem block bs
+  | Whole_disk -> true
+
+let matches_dir kind dir =
+  match (kind, dir) with
+  | Fail_read, Read | Corrupt _, Read | Fail_write, Write -> true
+  | Fail_read, Write | Corrupt _, Write | Fail_write, Read -> false
+
+(* Find the first armed rule matching this access and consume one firing
+   (respecting [Transient] budgets). *)
+let firing t dir block =
+  let rec go = function
+    | [] -> None
+    | a :: rest ->
+        if (not a.cleared)
+           && matches_target a.r.target block
+           && matches_dir a.r.kind dir
+        then begin
+          a.seen <- a.seen + 1;
+          match a.r.persistence with
+          | Sticky | Until_write ->
+              a.count <- a.count + 1;
+              Some a.r.kind
+          | Transient n when a.count < n ->
+              a.count <- a.count + 1;
+              Some a.r.kind
+          | After n when a.seen > n ->
+              a.count <- a.count + 1;
+              Some a.r.kind
+          | Transient _ | After _ -> go rest
+        end
+        else go rest
+  in
+  go (List.rev t.rules) (* oldest rule wins, deterministically *)
+
+(* A successful write remaps the sector: read faults marked
+   [Until_write] on that block stop firing. *)
+let clear_on_write t block =
+  List.iter
+    (fun a ->
+      if a.r.persistence = Until_write && matches_target a.r.target block then
+        a.cleared <- true)
+    t.rules
+
+let record t dir block outcome =
+  if t.tracing then begin
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    t.events <- { seq; dir; block; label = t.classifier block; outcome } :: t.events
+  end
+
+let corrupt_block corruption data =
+  match corruption with
+  | Zeroes -> Bytes.fill data 0 (Bytes.length data) '\000'
+  | Noise seed ->
+      let rng = Iron_util.Prng.create (seed lxor 0x5EED) in
+      Iron_util.Prng.fill_bytes rng data
+  | Bit_flip bit ->
+      let off = bit / 8 mod Bytes.length data in
+      let b = Char.code (Bytes.get data off) in
+      Bytes.set data off (Char.chr (b lxor (1 lsl (bit mod 8))))
+  | Byte_shift ->
+      let n = Bytes.length data in
+      if n > 1 then begin
+        let last = Bytes.get data (n - 1) in
+        Bytes.blit data 0 data 1 (n - 1);
+        Bytes.set data 0 last
+      end
+  | Tweak f -> f data
+
+let read t block =
+  match firing t Read block with
+  | Some Fail_read ->
+      record t Read block (Io_error Iron_disk.Dev.Eio);
+      Error Iron_disk.Dev.Eio
+  | Some (Corrupt c) -> (
+      match t.below.Iron_disk.Dev.read block with
+      | Ok data ->
+          corrupt_block c data;
+          record t Read block Io_corrupted;
+          Ok data
+      | Error e ->
+          record t Read block (Io_error e);
+          Error e)
+  | Some Fail_write | None -> (
+      match t.below.Iron_disk.Dev.read block with
+      | Ok _ as ok ->
+          record t Read block Io_ok;
+          ok
+      | Error e ->
+          record t Read block (Io_error e);
+          Error e)
+
+let write t block data =
+  match firing t Write block with
+  | Some Fail_write ->
+      record t Write block (Io_error Iron_disk.Dev.Eio);
+      Error Iron_disk.Dev.Eio
+  | Some Fail_read | Some (Corrupt _) | None -> (
+      match t.below.Iron_disk.Dev.write block data with
+      | Ok () ->
+          clear_on_write t block;
+          record t Write block Io_ok;
+          Ok ()
+      | Error e ->
+          record t Write block (Io_error e);
+          Error e)
+
+let dev t =
+  {
+    Iron_disk.Dev.block_size = t.below.Iron_disk.Dev.block_size;
+    num_blocks = t.below.Iron_disk.Dev.num_blocks;
+    read = read t;
+    write = write t;
+    sync = t.below.Iron_disk.Dev.sync;
+    now = t.below.Iron_disk.Dev.now;
+  }
+
+let pp_event fmt e =
+  let dir = match e.dir with Read -> "R" | Write -> "W" in
+  let out =
+    match e.outcome with
+    | Io_ok -> "ok"
+    | Io_error err -> Iron_disk.Dev.error_to_string err
+    | Io_corrupted -> "CORRUPT"
+  in
+  Format.fprintf fmt "#%d %s blk=%d type=%s -> %s" e.seq dir e.block e.label out

@@ -1,0 +1,102 @@
+(** The fail-partial failure model (paper §2.3) and its injector.
+
+    The injector wraps a {!Iron_disk.Dev.t} and sits where the paper's
+    pseudo-device driver sat: directly beneath the file system, above
+    everything else. It can
+
+    - fail reads or writes of chosen blocks (latent sector errors),
+      stickily or transiently;
+    - silently corrupt the data returned by reads, with several
+      corruption shapes (noise, zeroes, single bit flips, the classic
+      byte-shift firmware bug, or a caller-supplied field tweak for
+      type-aware corruption);
+    - fail spatially-local ranges (a media scratch) or the whole disk.
+
+    Every I/O through the injector is appended to a trace, annotated by
+    a caller-installed block-type classifier; the fingerprinting engine
+    reads this trace to infer retry, redundancy and stop behaviours. *)
+
+type direction = Read | Write
+
+(** How a corrupting read mangles the returned data. *)
+type corruption =
+  | Zeroes  (** block replaced by zeroes *)
+  | Noise of int  (** pseudo-random bytes from the given seed *)
+  | Bit_flip of int  (** flip one bit: [offset*8 + bit] within the block *)
+  | Byte_shift
+      (** data circularly shifted by one byte — the drive-firmware bug
+          reported in the paper (§2.2, [37]) *)
+  | Tweak of (bytes -> unit)
+      (** caller mutates the buffer in place; used for type-aware
+          corruption of individual fields so the block still looks
+          plausible (§4.2) *)
+
+type kind =
+  | Fail_read  (** reads of the target return [Eio] *)
+  | Fail_write  (** writes to the target return [Eio] and are dropped *)
+  | Corrupt of corruption  (** reads of the target succeed with bad data *)
+
+type persistence =
+  | Sticky  (** the fault never goes away *)
+  | Transient of int  (** fires for the first [n] matching accesses only *)
+  | Until_write
+      (** read failures that clear once the block is successfully
+          rewritten — the drive remapping the sector (§2.3.3) *)
+  | After of int
+      (** dormant for the first [n] matching accesses, then permanent.
+          [rule Whole_disk Fail_write ~persistence:(After n)] is a power
+          cut landing n writes into a transaction commit. *)
+
+type target =
+  | Block of int
+  | Range of int * int  (** inclusive range: a surface scratch *)
+  | Blocks of int list
+  | Whole_disk
+
+type rule = { target : target; kind : kind; persistence : persistence }
+
+val rule : ?persistence:persistence -> target -> kind -> rule
+(** Defaults to [Sticky]. *)
+
+(** {2 The injector} *)
+
+type t
+
+val create : Iron_disk.Dev.t -> t
+val dev : t -> Iron_disk.Dev.t
+
+type rule_id
+
+val arm : t -> rule -> rule_id
+val disarm : t -> rule_id -> unit
+val disarm_all : t -> unit
+
+val fired : t -> rule_id -> int
+(** How many times the rule has matched an access so far. *)
+
+(** {2 Tracing} *)
+
+type outcome =
+  | Io_ok
+  | Io_error of Iron_disk.Dev.error  (** injected or propagated *)
+  | Io_corrupted  (** returned [Ok] with mangled data *)
+
+type event = {
+  seq : int;
+  dir : direction;
+  block : int;
+  label : string;  (** block type, from the classifier; "?" if none *)
+  outcome : outcome;
+}
+
+val set_classifier : t -> (int -> string) -> unit
+(** Install the gray-box block-type oracle used to label trace events. *)
+
+val trace : t -> event list
+(** Events in issue order. *)
+
+val clear_trace : t -> unit
+val set_tracing : t -> bool -> unit
+(** Tracing is on by default; benchmarks turn it off. *)
+
+val pp_event : Format.formatter -> event -> unit

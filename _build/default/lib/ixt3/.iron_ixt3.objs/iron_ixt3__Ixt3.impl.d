@@ -1,0 +1,1 @@
+lib/ixt3/ixt3.ml: Iron_ext3 List

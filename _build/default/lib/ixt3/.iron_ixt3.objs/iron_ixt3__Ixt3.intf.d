@@ -1,0 +1,1 @@
+lib/ixt3/ixt3.mli: Iron_ext3 Iron_vfs

@@ -1,0 +1,1 @@
+lib/ixt3/scrub.ml: Array Bytes Char Codec Format Hashtbl Iron_disk Iron_ext3 Iron_util Iron_vfs List Result Sha1 String

@@ -1,0 +1,1 @@
+lib/ixt3/scrub.mli: Format Iron_disk Iron_ext3 Iron_vfs

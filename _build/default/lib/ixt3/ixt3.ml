@@ -1,0 +1,20 @@
+module Profile = Iron_ext3.Profile
+
+let brand ?(mc = false) ?(mr = false) ?(dc = false) ?(dp = false) ?(tc = false)
+    ?(rm = false) () =
+  Iron_ext3.Ext3.brand (Profile.ixt3_with ~mc ~mr ~dc ~dp ~tc ~rm ())
+
+let full = Iron_ext3.Ext3.ixt3
+
+(* Table 6 enumerates combinations with Mc varying slowest, matching the
+   paper's row layout (row 1 = Mc, row 2 = Mr, row 3 = Dc, ...). *)
+let all_variants =
+  let bit n i = n land (1 lsl i) <> 0 in
+  List.init 32 (fun n ->
+      let mc = bit n 4
+      and mr = bit n 3
+      and dc = bit n 2
+      and dp = bit n 1
+      and tc = bit n 0 in
+      let p = Profile.ixt3_with ~mc ~mr ~dc ~dp ~tc () in
+      (p, Iron_ext3.Ext3.brand p))

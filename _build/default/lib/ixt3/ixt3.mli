@@ -1,0 +1,21 @@
+(** ixt3 — the IRON ext3 family (§6).
+
+    Thin assembly over {!Iron_ext3}: pick a feature combination and get
+    a mountable {!Iron_vfs.Fs.brand}. The five features are the paper's
+    Mc (metadata checksums), Mr (metadata replication), Dc (data
+    checksums), Dp (per-file data parity) and Tc (transactional
+    checksums); Table 6 evaluates all 32 combinations. *)
+
+val brand :
+  ?mc:bool -> ?mr:bool -> ?dc:bool -> ?dp:bool -> ?tc:bool -> ?rm:bool ->
+  unit -> Iron_vfs.Fs.brand
+(** Defaults: all features off (but ext3's failure-handling bugs
+    fixed, as in the paper's prototype). [rm] enables the beyond-paper
+    RRemap extension: failed data writes relocate to a fresh block. *)
+
+val full : Iron_vfs.Fs.brand
+(** Everything on — the configuration fingerprinted in Figure 3. *)
+
+val all_variants : (Iron_ext3.Profile.t * Iron_vfs.Fs.brand) list
+(** The 32 feature combinations in Table 6's row order: the feature
+    bits count up with Mc as the most significant. *)

@@ -1,0 +1,1 @@
+lib/jfs/jfs.ml: Array Bytes Char Codec Hashtbl Iron_disk Iron_util Iron_vfs List Option Result String

@@ -1,0 +1,1 @@
+lib/jfs/jfs.mli: Iron_vfs

@@ -1,0 +1,1 @@
+lib/ntfs/ntfs.ml: Array Bytes Char Codec Hashtbl Iron_disk Iron_util Iron_vfs List Option Result String

@@ -1,0 +1,1 @@
+lib/ntfs/ntfs.mli: Iron_vfs

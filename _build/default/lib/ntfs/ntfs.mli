@@ -1,0 +1,13 @@
+(** A partial NTFS model (§5.4 — the paper's own analysis of NTFS is
+    incomplete, as it is closed source; this model covers the block
+    types of Table 4). The signature behaviours: {e persistence} —
+    failed reads are retried up to seven times, failed data writes three
+    times and MFT writes twice; strong magic-based sanity checks on MFT
+    records and index blocks (metadata corruption makes the volume
+    unmountable); errors reliably propagated; but, like ext3 and JFS, a
+    failed data write is recorded and then never used. *)
+
+val brand : Iron_vfs.Fs.brand
+
+val block_types : string list
+val classify : (int -> bytes) -> int -> string

@@ -1,0 +1,1 @@
+lib/reiserfs/reiserfs.ml: Array Bytes Char Codec Hashtbl Iron_disk Iron_util Iron_vfs List Option Result Rnode String

@@ -1,0 +1,1 @@
+lib/reiserfs/reiserfs.mli: Iron_vfs

@@ -1,0 +1,1 @@
+lib/reiserfs/rnode.ml: Array Bytes Codec Iron_util Iron_vfs List Option String

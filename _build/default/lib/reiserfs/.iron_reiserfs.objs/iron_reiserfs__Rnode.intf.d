@@ -1,0 +1,1 @@
+lib/reiserfs/rnode.mli: Iron_vfs

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Bytes Char Format Int32

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected). Used for cheap per-block
+    integrity tags where the full SHA-1 of {!Sha1} would be overkill. *)
+
+val digest : ?off:int -> ?len:int -> bytes -> int
+(** [digest b] is the CRC-32 of [b] as a non-negative int (fits 32 bits). *)
+
+val digest_string : string -> int
+
+val update : int -> ?off:int -> ?len:int -> bytes -> int
+(** [update crc b] extends a running CRC with more data. [digest b] is
+    [update 0 b]. *)

@@ -1,0 +1,27 @@
+let pp_range fmt b lo hi =
+  let line off =
+    Format.fprintf fmt "%08x  " off;
+    for i = 0 to 15 do
+      if off + i < hi then
+        Format.fprintf fmt "%02x " (Char.code (Bytes.get b (off + i)))
+      else Format.fprintf fmt "   ";
+      if i = 7 then Format.fprintf fmt " "
+    done;
+    Format.fprintf fmt " |";
+    for i = 0 to 15 do
+      if off + i < hi then begin
+        let c = Bytes.get b (off + i) in
+        if c >= ' ' && c <= '~' then Format.fprintf fmt "%c" c
+        else Format.fprintf fmt "."
+      end
+    done;
+    Format.fprintf fmt "|@."
+  in
+  let off = ref lo in
+  while !off < hi do
+    line !off;
+    off := !off + 16
+  done
+
+let pp fmt b = pp_range fmt b 0 (Bytes.length b)
+let pp_prefix n fmt b = pp_range fmt b 0 (min n (Bytes.length b))

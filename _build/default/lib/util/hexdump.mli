@@ -1,0 +1,7 @@
+(** Debug pretty-printing of raw blocks. *)
+
+val pp : Format.formatter -> bytes -> unit
+(** Classic 16-bytes-per-line hex + ASCII dump. *)
+
+val pp_prefix : int -> Format.formatter -> bytes -> unit
+(** [pp_prefix n] dumps only the first [n] bytes. *)

@@ -1,0 +1,150 @@
+type t = string (* 20 raw bytes *)
+
+let mask = 0xFFFFFFFF
+let ( &< ) x n = (x lsl n) land mask
+let rotl x n = (x &< n) lor (x lsr (32 - n))
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  block : bytes; (* 64-byte accumulation buffer *)
+  mutable used : int; (* bytes pending in [block] *)
+  mutable total : int; (* total message bytes fed *)
+  w : int array; (* message schedule, reused across blocks *)
+}
+
+let init () =
+  {
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
+    block = Bytes.create 64;
+    used = 0;
+    total = 0;
+    w = Array.make 80 0;
+  }
+
+let compress ctx buf off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let p = off + (i * 4) in
+    w.(i) <-
+      (Char.code (Bytes.get buf p) lsl 24)
+      lor (Char.code (Bytes.get buf (p + 1)) lsl 16)
+      lor (Char.code (Bytes.get buf (p + 2)) lsl 8)
+      lor Char.code (Bytes.get buf (p + 3))
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+  done;
+  let a = ref ctx.h0
+  and b = ref ctx.h1
+  and c = ref ctx.h2
+  and d = ref ctx.h3
+  and e = ref ctx.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then (!b land !c lor (lnot !b land mask land !d), 0x5A827999)
+      else if i < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+      else if i < 60 then
+        (!b land !c lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
+      else (!b lxor !c lxor !d, 0xCA62C1D6)
+    in
+    let tmp = (rotl !a 5 + f + !e + k + w.(i)) land mask in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := tmp
+  done;
+  ctx.h0 <- (ctx.h0 + !a) land mask;
+  ctx.h1 <- (ctx.h1 + !b) land mask;
+  ctx.h2 <- (ctx.h2 + !c) land mask;
+  ctx.h3 <- (ctx.h3 + !d) land mask;
+  ctx.h4 <- (ctx.h4 + !e) land mask
+
+let feed ctx ?(off = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - off in
+  ctx.total <- ctx.total + len;
+  let pos = ref off in
+  let left = ref len in
+  (* Top up a partial block first. *)
+  if ctx.used > 0 then begin
+    let take = min !left (64 - ctx.used) in
+    Bytes.blit buf !pos ctx.block ctx.used take;
+    ctx.used <- ctx.used + take;
+    pos := !pos + take;
+    left := !left - take;
+    if ctx.used = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.used <- 0
+    end
+  end;
+  while !left >= 64 do
+    compress ctx buf !pos;
+    pos := !pos + 64;
+    left := !left - 64
+  done;
+  if !left > 0 then begin
+    Bytes.blit buf !pos ctx.block ctx.used !left;
+    ctx.used <- ctx.used + !left
+  end
+
+let finalize ctx =
+  let bits = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1) mod 64 in
+    if rem <= 56 then 56 - rem + 1 else 64 - rem + 56 + 1
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad
+      (pad_len + i)
+      (Char.chr ((bits lsr ((7 - i) * 8)) land 0xFF))
+  done;
+  (* Feed the padding without perturbing [total]. *)
+  let saved = ctx.total in
+  feed ctx pad;
+  ctx.total <- saved;
+  assert (ctx.used = 0);
+  let out = Bytes.create 20 in
+  let put i v =
+    Bytes.set out (i * 4) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xFF))
+  in
+  put 0 ctx.h0;
+  put 1 ctx.h1;
+  put 2 ctx.h2;
+  put 3 ctx.h3;
+  put 4 ctx.h4;
+  Bytes.to_string out
+
+let digest ?(off = 0) ?len buf =
+  let ctx = init () in
+  feed ctx ~off ?len buf;
+  finalize ctx
+
+let digest_string s = digest (Bytes.of_string s)
+
+let to_hex d =
+  let b = Buffer.create 40 in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents b
+
+let to_raw d = d
+
+let of_raw s =
+  if String.length s <> 20 then invalid_arg "Sha1.of_raw: expected 20 bytes";
+  s
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt d = Format.pp_print_string fmt (to_hex d)

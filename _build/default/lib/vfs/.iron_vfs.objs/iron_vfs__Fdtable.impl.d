@@ -1,0 +1,1 @@
+lib/vfs/fdtable.ml: Errno Hashtbl

@@ -1,0 +1,1 @@
+lib/vfs/fdtable.mli: Errno Fs

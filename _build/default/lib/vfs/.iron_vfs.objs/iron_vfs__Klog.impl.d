@@ -1,0 +1,1 @@
+lib/vfs/klog.ml: Format List

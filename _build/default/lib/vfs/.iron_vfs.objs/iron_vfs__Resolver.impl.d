@@ -1,0 +1,1 @@
+lib/vfs/resolver.ml: Errno Fs Path Result

@@ -1,0 +1,1 @@
+lib/vfs/resolver.mli: Errno Fs

@@ -1,0 +1,36 @@
+type t =
+  | EIO
+  | ENOENT
+  | ENOSPC
+  | ENOTDIR
+  | EISDIR
+  | EEXIST
+  | ENOTEMPTY
+  | EROFS
+  | EFBIG
+  | ENAMETOOLONG
+  | EBADF
+  | EINVAL
+  | ENFILE
+  | ELOOP
+  | EUCLEAN
+
+let to_string = function
+  | EIO -> "EIO"
+  | ENOENT -> "ENOENT"
+  | ENOSPC -> "ENOSPC"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EEXIST -> "EEXIST"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EROFS -> "EROFS"
+  | EFBIG -> "EFBIG"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ENFILE -> "ENFILE"
+  | ELOOP -> "ELOOP"
+  | EUCLEAN -> "EUCLEAN"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+let equal (a : t) b = a = b

@@ -1,0 +1,25 @@
+(** POSIX-style error codes returned through the file-system API.
+
+    These are the "observable outputs" (§4.3) the fingerprinting engine
+    compares between faulty and fault-free runs. *)
+
+type t =
+  | EIO
+  | ENOENT
+  | ENOSPC
+  | ENOTDIR
+  | EISDIR
+  | EEXIST
+  | ENOTEMPTY
+  | EROFS
+  | EFBIG
+  | ENAMETOOLONG
+  | EBADF
+  | EINVAL
+  | ENFILE
+  | ELOOP
+  | EUCLEAN  (** structure needs cleaning: a failed sanity check *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,33 @@
+type level = Info | Warning | Error
+type entry = { level : level; subsystem : string; message : string }
+type t = { mutable entries : entry list (* newest first *) }
+
+exception Panic of string
+
+let create () = { entries = [] }
+
+let log t level subsystem fmt =
+  Format.kasprintf
+    (fun message -> t.entries <- { level; subsystem; message } :: t.entries)
+    fmt
+
+let info t sub fmt = log t Info sub fmt
+let warn t sub fmt = log t Warning sub fmt
+let error t sub fmt = log t Error sub fmt
+
+let panic t subsystem fmt =
+  Format.kasprintf
+    (fun message ->
+      t.entries <- { level = Error; subsystem; message } :: t.entries;
+      raise (Panic (subsystem ^ ": " ^ message)))
+    fmt
+
+let entries t = List.rev t.entries
+let errors t = List.rev (List.filter (fun e -> e.level = Error) t.entries)
+let clear t = t.entries <- []
+
+let pp_entry fmt e =
+  let lvl =
+    match e.level with Info -> "info" | Warning -> "warn" | Error -> "ERROR"
+  in
+  Format.fprintf fmt "[%s] %s: %s" lvl e.subsystem e.message

@@ -1,0 +1,32 @@
+(** Per-mount kernel-log capture.
+
+    Each mounted file system owns a [Klog.t]; everything it would have
+    [printk]'d goes here, and the fingerprinting engine inspects it as
+    one of the three observable outputs (§4.3). [panic] models a kernel
+    panic (ReiserFS's favourite recovery technique): it logs and raises
+    {!Panic}, which the caller of the file-system operation — the
+    "machine" — catches. *)
+
+type level = Info | Warning | Error
+
+type entry = { level : level; subsystem : string; message : string }
+
+type t
+
+exception Panic of string
+
+val create : unit -> t
+val log : t -> level -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val error : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val panic : t -> string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Logs at [Error] then raises {!Panic}. Never returns. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val errors : t -> entry list
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

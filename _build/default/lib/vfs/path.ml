@@ -1,0 +1,27 @@
+let max_name = 255
+
+let split p = String.split_on_char '/' p |> List.filter (fun s -> s <> "")
+
+let is_absolute p = String.length p > 0 && p.[0] = '/'
+
+let dirname_basename p =
+  match List.rev (split p) with
+  | [] -> ("/", "")
+  | base :: rev_dir ->
+      let dir =
+        match rev_dir with
+        | [] -> if is_absolute p then "/" else "."
+        | _ ->
+            let joined = String.concat "/" (List.rev rev_dir) in
+            if is_absolute p then "/" ^ joined else joined
+      in
+      (dir, base)
+
+let validate_component name =
+  if name = "" then Error Errno.ENOENT
+  else if String.length name > max_name then Error Errno.ENAMETOOLONG
+  else if String.contains name '/' || String.contains name '\000' then
+    Error Errno.EINVAL
+  else Ok ()
+
+let join dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name

@@ -1,0 +1,21 @@
+(** Path syntax helpers shared by all file-system implementations. *)
+
+val max_name : int
+(** Longest permitted component (255, as in ext3). *)
+
+val split : string -> string list
+(** ["/a/b//c"] becomes [["a"; "b"; "c"]]; ["/"] becomes []. Relative
+    paths split the same way (the caller decides the starting inode). *)
+
+val is_absolute : string -> bool
+
+val dirname_basename : string -> string * string
+(** [dirname_basename "/a/b/c"] is [("/a/b", "c")];
+    [dirname_basename "/x"] is [("/", "x")]; relative paths keep a
+    relative dirname: [dirname_basename "x"] is [(".", "x")]. *)
+
+val validate_component : string -> (unit, Errno.t) result
+(** Rejects empty names, names over {!max_name} and names containing
+    ['/'] or ['\000']. *)
+
+val join : string -> string -> string

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Bytes Char Hashtbl Iron_util Iron_vfs List Printf Result

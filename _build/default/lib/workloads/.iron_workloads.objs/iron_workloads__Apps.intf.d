@@ -1,0 +1,1 @@
+lib/workloads/apps.mli: Iron_util Iron_vfs

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Apps Iron_disk Iron_util Iron_vfs Result

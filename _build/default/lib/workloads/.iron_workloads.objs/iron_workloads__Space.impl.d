@@ -1,0 +1,1 @@
+lib/workloads/space.ml: Bytes Format Hashtbl Iron_disk Iron_ext3 Iron_ixt3 Iron_util Iron_vfs List Printf

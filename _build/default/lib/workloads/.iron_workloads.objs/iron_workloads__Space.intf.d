@@ -1,0 +1,1 @@
+lib/workloads/space.mli: Format

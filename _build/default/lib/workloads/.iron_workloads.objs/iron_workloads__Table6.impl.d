@@ -1,0 +1,1 @@
+lib/workloads/table6.ml: Apps Format Iron_ext3 Iron_ixt3 Iron_vfs List Printf Runner

@@ -1,0 +1,1 @@
+lib/workloads/table6.mli: Format

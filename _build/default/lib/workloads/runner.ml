@@ -1,0 +1,37 @@
+module Memdisk = Iron_disk.Memdisk
+module Fs = Iron_vfs.Fs
+
+let ( let* ) = Result.bind
+
+type stats = {
+  elapsed_ms : float;
+  reads : int;
+  writes : int;
+  syncs : int;
+}
+
+let run ?(num_blocks = 4096) ?(seed = 42) brand (app : Apps.t) =
+  let disk =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks; seed }
+      ()
+  in
+  let dev = Memdisk.dev disk in
+  (* Setup is untimed: Table 6 measures the workloads, not mkfs. *)
+  Memdisk.set_time_model disk false;
+  let* () = Fs.mkfs brand dev in
+  let* (Fs.Boxed ((module F), t)) = Fs.mount brand dev in
+  let rng = Iron_util.Prng.create (seed lxor 0xBE7C4) in
+  let* () = app.Apps.setup (Fs.Boxed ((module F), t)) rng in
+  Memdisk.reset_stats disk;
+  Memdisk.set_time_model disk true;
+  let* () = app.Apps.run (Fs.Boxed ((module F), t)) rng in
+  let* () = F.unmount t in
+  let s = Memdisk.stats disk in
+  Ok
+    {
+      elapsed_ms = s.Memdisk.elapsed_ms +. app.Apps.cpu_ms;
+      reads = s.Memdisk.reads;
+      writes = s.Memdisk.writes;
+      syncs = s.Memdisk.syncs;
+    }

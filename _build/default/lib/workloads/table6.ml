@@ -1,0 +1,64 @@
+type row = {
+  index : int;
+  label : string;
+  ratios : (string * float) list;
+}
+
+type table = {
+  baselines : (string * float) list;
+  rows : row list;
+}
+
+let time ?num_blocks ?seed brand app =
+  match Runner.run ?num_blocks ?seed brand app with
+  | Ok r -> r.Runner.elapsed_ms
+  | Error e ->
+      failwith
+        (Printf.sprintf "table6: %s failed: %s" app.Apps.name
+           (Iron_vfs.Errno.to_string e))
+
+let compute ?num_blocks ?seed () =
+  let baselines =
+    List.map
+      (fun app -> (app.Apps.name, time ?num_blocks ?seed Iron_ext3.Ext3.std app))
+      Apps.all
+  in
+  let rows =
+    List.mapi
+      (fun index (profile, brand) ->
+        let ratios =
+          List.map
+            (fun app ->
+              let base = List.assoc app.Apps.name baselines in
+              (app.Apps.name, time ?num_blocks ?seed brand app /. base))
+            Apps.all
+        in
+        (* Paper row order counts feature bits upward with Tc fastest. *)
+        { index; label = Iron_ext3.Profile.variant_label profile; ratios })
+      Iron_ixt3.Ixt3.all_variants
+  in
+  { baselines; rows }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "Table 6: overheads of ixt3 variants (normalized to ext3)@.";
+  Format.fprintf fmt "%-4s %-15s" "#" "features";
+  List.iter (fun (n, _) -> Format.fprintf fmt " %9s" n) t.baselines;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-4d %-15s" row.index row.label;
+      List.iter
+        (fun (_, r) ->
+          let s =
+            if r < 0.995 then Printf.sprintf "[%.2f]" r
+            else if r > 1.10 then Printf.sprintf "%.2f*" r
+            else Printf.sprintf "%.2f" r
+          in
+          Format.fprintf fmt " %9s" s)
+        row.ratios;
+      Format.fprintf fmt "@.")
+    t.rows;
+  Format.fprintf fmt "baseline ext3 times:";
+  List.iter (fun (n, ms) -> Format.fprintf fmt " %s=%.2fs" n (ms /. 1000.)) t.baselines;
+  Format.fprintf fmt "@.([x] = speedup; x* = slowdown beyond 10%%)@."

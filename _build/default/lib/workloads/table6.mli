@@ -1,0 +1,20 @@
+(** Table 6: time overheads of the 32 ixt3 variants, normalized to
+    stock ext3, across the four application workloads. *)
+
+type row = {
+  index : int;
+  label : string;  (** e.g. ["Mc Mr Dp"] *)
+  ratios : (string * float) list;  (** workload name -> normalized time *)
+}
+
+type table = {
+  baselines : (string * float) list;  (** workload -> ext3 ms *)
+  rows : row list;
+}
+
+val compute : ?num_blocks:int -> ?seed:int -> unit -> table
+(** Runs 4 workloads x (1 baseline + 32 variants). Deterministic. *)
+
+val pp : Format.formatter -> table -> unit
+(** Paper-style rendering: slowdowns over 10% marked with [*],
+    speedups in [brackets]. *)

@@ -1,0 +1,1 @@
+test/test_codecs.ml: Alcotest Bytes Fun Gen Iron_ext3 Iron_util Iron_vfs List Printf QCheck QCheck_alcotest String

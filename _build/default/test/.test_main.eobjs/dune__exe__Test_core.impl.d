@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Char Format Iron_core Iron_disk Iron_ext3 Iron_jfs Iron_ntfs Iron_reiserfs Iron_vfs List String

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Iron_disk Iron_ext3 Iron_fault Iron_jfs Iron_reiserfs Iron_vfs List Memdisk Printf QCheck QCheck_alcotest Random String

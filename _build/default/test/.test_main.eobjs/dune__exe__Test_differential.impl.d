@@ -1,0 +1,1 @@
+test/test_differential.ml: Bytes Char Hashtbl Iron_disk Iron_fault Iron_ixt3 Iron_util Iron_vfs List Memdisk Printf QCheck QCheck_alcotest Random String

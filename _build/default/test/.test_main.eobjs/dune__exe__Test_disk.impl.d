@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bcache Bytes Char Dev Hashtbl Iron_disk Iron_fault List Memdisk QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ext3.ml: Alcotest Bytes Char Fun Hashtbl Iron_disk Iron_ext3 Iron_fault Iron_vfs List Memdisk Option Printf QCheck QCheck_alcotest String

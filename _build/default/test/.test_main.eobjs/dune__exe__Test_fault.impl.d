@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Bytes Char Dev Fault Iron_disk Iron_fault List Memdisk

@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Hashtbl Iron_core Iron_ext3 Iron_jfs Iron_ntfs Iron_reiserfs Iron_vfs List Printf String

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Fun Iron_disk Iron_ext3 Iron_ixt3 Iron_vfs List Memdisk String

@@ -1,0 +1,1 @@
+test/test_genops.ml: Alcotest Bytes Char Iron_disk Iron_ext3 Iron_jfs Iron_ntfs Iron_reiserfs Iron_vfs List Memdisk Printf String

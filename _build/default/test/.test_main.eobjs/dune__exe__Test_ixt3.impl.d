@@ -1,0 +1,1 @@
+test/test_ixt3.ml: Alcotest Bytes Char Fun Iron_disk Iron_ext3 Iron_fault Iron_ixt3 Iron_vfs List Memdisk Option String

@@ -1,0 +1,1 @@
+test/test_jfs.ml: Alcotest Bytes Fun Iron_disk Iron_fault Iron_jfs Iron_util Iron_vfs List Memdisk String

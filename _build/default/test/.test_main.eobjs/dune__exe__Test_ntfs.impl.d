@@ -1,0 +1,1 @@
+test/test_ntfs.ml: Alcotest Bytes Fun Iron_disk Iron_fault Iron_ntfs Iron_util Iron_vfs List Memdisk

@@ -1,0 +1,1 @@
+test/test_reiserfs.ml: Alcotest Array Bytes Fun Iron_disk Iron_fault Iron_reiserfs Iron_util Iron_vfs List Memdisk Printf QCheck QCheck_alcotest String

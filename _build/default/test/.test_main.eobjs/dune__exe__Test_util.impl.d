@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Codec Crc32 Format Fun Hexdump Iron_util List Prng QCheck QCheck_alcotest Sha1 String

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Gen Iron_vfs List QCheck QCheck_alcotest Result String

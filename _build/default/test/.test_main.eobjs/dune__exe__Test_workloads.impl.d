@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Iron_ext3 Iron_ixt3 Iron_vfs Iron_workloads List

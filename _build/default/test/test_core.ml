@@ -1,0 +1,247 @@
+(* Tests for the fingerprinting engine itself: taxonomy, the workload
+   suite, the campaign driver and its inference, and the renderers. *)
+
+module Driver = Iron_core.Driver
+module Taxonomy = Iron_core.Taxonomy
+module Workload = Iron_core.Workload
+module Render = Iron_core.Render
+module Fs = Iron_vfs.Fs
+
+let check = Alcotest.check
+
+let test_taxonomy_symbols_distinct () =
+  let dsyms = List.map Taxonomy.detection_symbol Taxonomy.all_detections in
+  check Alcotest.int "detection symbols unique"
+    (List.length dsyms)
+    (List.length (List.sort_uniq compare dsyms));
+  let rsyms = List.map Taxonomy.recovery_symbol Taxonomy.all_recoveries in
+  check Alcotest.int "recovery symbols unique"
+    (List.length rsyms)
+    (List.length (List.sort_uniq compare rsyms))
+
+let test_workload_columns_complete () =
+  let cols = List.map (fun w -> w.Workload.col) Workload.all in
+  check Alcotest.int "twenty columns" 20 (List.length cols);
+  check Alcotest.(list char) "a through t"
+    (List.init 20 (fun i -> Char.chr (Char.code 'a' + i)))
+    (List.sort compare cols)
+
+let test_fixture_applies_to_every_brand () =
+  List.iter
+    (fun brand ->
+      let d =
+        Iron_disk.Memdisk.create
+          ~params:
+            { Iron_disk.Memdisk.default_params with
+              Iron_disk.Memdisk.num_blocks = 2048; seed = 71 }
+          ()
+      in
+      Iron_disk.Memdisk.set_time_model d false;
+      let dev = Iron_disk.Memdisk.dev d in
+      (match Fs.mkfs brand dev with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s mkfs: %s" (Fs.brand_name brand)
+            (Iron_vfs.Errno.to_string e));
+      match Fs.mount brand dev with
+      | Error e ->
+          Alcotest.failf "%s mount: %s" (Fs.brand_name brand)
+            (Iron_vfs.Errno.to_string e)
+      | Ok (Fs.Boxed ((module F), t) as boxed) -> (
+          (match Workload.fixture boxed with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "%s fixture: %s" (Fs.brand_name brand)
+                (Iron_vfs.Errno.to_string e));
+          (* Every workload's measured phase must succeed fault-free. *)
+          List.iter
+            (fun w ->
+              match w.Workload.kind with
+              | Workload.Ops -> (
+                  match w.Workload.run boxed with
+                  | Ok () -> ()
+                  | Error e ->
+                      Alcotest.failf "%s workload %c: %s" (Fs.brand_name brand)
+                        w.Workload.col (Iron_vfs.Errno.to_string e))
+              | Workload.Mount_op | Workload.Umount_op | Workload.Recovery_op -> ())
+            Workload.all;
+          match F.unmount t with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "%s unmount: %s" (Fs.brand_name brand)
+                (Iron_vfs.Errno.to_string e)))
+    [
+      Iron_ext3.Ext3.std; Iron_reiserfs.Reiserfs.brand; Iron_jfs.Jfs.brand;
+      Iron_ntfs.Ntfs.brand; Iron_ext3.Ext3.ixt3;
+    ]
+
+(* A focused campaign exercising the driver end to end; small enough to
+   run in the unit-test budget. *)
+let small_report brand faults cols types =
+  Driver.fingerprint ~faults
+    ~workloads:(List.map Workload.find cols)
+    ~block_types:types brand
+
+let test_driver_ext3_read_failure_inode () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Read_failure ] [ 'a' ] [ "inode" ]
+  in
+  let m = List.hd r.Driver.matrices in
+  let c = m.Driver.cell "inode" 'a' in
+  check Alcotest.bool "applicable" true c.Driver.applicable;
+  check Alcotest.bool "fired" true (c.Driver.fired > 0);
+  check Alcotest.bool "error code detected" true
+    (List.mem Taxonomy.DErrorCode c.Driver.detection);
+  check Alcotest.bool "propagated" true
+    (List.mem Taxonomy.RPropagate c.Driver.recovery)
+
+let test_driver_ext3_write_failure_ignored () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Write_failure ] [ 'g' ] [ "inode" ]
+  in
+  let m = List.hd r.Driver.matrices in
+  let c = m.Driver.cell "inode" 'g' in
+  check Alcotest.bool "fired" true (c.Driver.fired > 0);
+  check Alcotest.(list string) "DZero: the famous ext3 bug"
+    [ "DZero" ]
+    (List.map Taxonomy.detection_name c.Driver.detection);
+  check Alcotest.(list string) "RZero" [ "RZero" ]
+    (List.map Taxonomy.recovery_name c.Driver.recovery)
+
+let test_driver_reiserfs_write_failure_panics () =
+  let r =
+    small_report Iron_reiserfs.Reiserfs.brand [ Taxonomy.Write_failure ] [ 'g' ]
+      [ "j-desc" ]
+  in
+  let m = List.hd r.Driver.matrices in
+  let c = m.Driver.cell "j-desc" 'g' in
+  check Alcotest.bool "fired" true (c.Driver.fired > 0);
+  check Alcotest.bool "RStop (panic)" true (List.mem Taxonomy.RStop c.Driver.recovery)
+
+let test_driver_jfs_retry_detected () =
+  let r =
+    small_report Iron_jfs.Jfs.brand [ Taxonomy.Read_failure ] [ 'a' ] [ "inode" ]
+  in
+  let m = List.hd r.Driver.matrices in
+  let c = m.Driver.cell "inode" 'a' in
+  check Alcotest.bool "RRetry" true (List.mem Taxonomy.RRetry c.Driver.recovery)
+
+let test_driver_ixt3_redundancy_detected () =
+  let r =
+    small_report Iron_ext3.Ext3.ixt3 [ Taxonomy.Read_failure ] [ 'a' ] [ "inode" ]
+  in
+  let m = List.hd r.Driver.matrices in
+  let c = m.Driver.cell "inode" 'a' in
+  check Alcotest.bool "RRedundancy" true
+    (List.mem Taxonomy.RRedundancy c.Driver.recovery);
+  (* And the workload itself succeeds: the failure is absorbed. *)
+  check Alcotest.string "api ok" "ok" c.Driver.note
+
+let test_driver_na_cells_are_gray () =
+  (* readlink never touches the block bitmap. *)
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Read_failure ] [ 'e' ] [ "bitmap" ]
+  in
+  let m = List.hd r.Driver.matrices in
+  let c = m.Driver.cell "bitmap" 'e' in
+  check Alcotest.bool "not applicable" false c.Driver.applicable
+
+let test_driver_deterministic () =
+  let run () =
+    let r =
+      small_report Iron_ext3.Ext3.std [ Taxonomy.Corruption ] [ 'd' ] [ "data" ]
+    in
+    let c = (List.hd r.Driver.matrices).Driver.cell "data" 'd' in
+    (c.Driver.fired, c.Driver.detection, c.Driver.recovery, c.Driver.note)
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "identical reruns" true (a = b)
+
+let test_data_corruption_rguess () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Corruption ] [ 'd' ] [ "data" ]
+  in
+  let c = (List.hd r.Driver.matrices).Driver.cell "data" 'd' in
+  check Alcotest.bool "DZero" true (List.mem Taxonomy.DZero c.Driver.detection);
+  check Alcotest.bool "RGuess (wrong data returned)" true
+    (List.mem Taxonomy.RGuess c.Driver.recovery)
+
+let test_recovery_column_exercises_replay () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Read_failure ] [ 's' ] [ "j-desc" ]
+  in
+  let c = (List.hd r.Driver.matrices).Driver.cell "j-desc" 's' in
+  check Alcotest.bool "journal descriptor read during recovery" true
+    c.Driver.applicable
+
+let test_render_produces_grid () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Read_failure ] [ 'a'; 'b' ]
+      [ "inode"; "dir" ]
+  in
+  let out = Format.asprintf "%a" Render.pp_report r in
+  check Alcotest.bool "has header" true
+    (String.length out > 0
+    &&
+    let rec find i =
+      i + 5 <= String.length out && (String.sub out i 5 = "inode" || find (i + 1))
+    in
+    find 0)
+
+let test_summarize_counts () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Read_failure ] [ 'a' ] [ "inode" ]
+  in
+  match Render.summarize [ r ] with
+  | [ (name, ds, _) ] ->
+      check Alcotest.string "name" "ext3" name;
+      let derr = List.assoc Taxonomy.DErrorCode ds in
+      check Alcotest.bool "counted DErrorCode" true (derr > 0)
+  | _ -> Alcotest.fail "one summary row"
+
+let test_counters () =
+  let r =
+    small_report Iron_ext3.Ext3.std [ Taxonomy.Read_failure ] [ 'a' ]
+      [ "inode"; "dir" ]
+  in
+  check Alcotest.int "two fired" 2 (Driver.experiments_run r);
+  check Alcotest.bool "recovered subset" true
+    (Driver.detected_and_recovered r <= Driver.experiments_run r)
+
+let suites =
+  [
+    ( "core.taxonomy",
+      [
+        Alcotest.test_case "symbols distinct" `Quick test_taxonomy_symbols_distinct;
+        Alcotest.test_case "twenty workload columns" `Quick
+          test_workload_columns_complete;
+      ] );
+    ( "core.workloads",
+      [
+        Alcotest.test_case "fixture + singlets on every FS" `Slow
+          test_fixture_applies_to_every_brand;
+      ] );
+    ( "core.driver",
+      [
+        Alcotest.test_case "ext3: read failure detected+propagated" `Quick
+          test_driver_ext3_read_failure_inode;
+        Alcotest.test_case "ext3: write failure ignored" `Quick
+          test_driver_ext3_write_failure_ignored;
+        Alcotest.test_case "reiserfs: write failure panics" `Quick
+          test_driver_reiserfs_write_failure_panics;
+        Alcotest.test_case "jfs: retry inferred" `Quick test_driver_jfs_retry_detected;
+        Alcotest.test_case "ixt3: redundancy inferred" `Quick
+          test_driver_ixt3_redundancy_detected;
+        Alcotest.test_case "gray cells" `Quick test_driver_na_cells_are_gray;
+        Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+        Alcotest.test_case "data corruption = RGuess" `Quick test_data_corruption_rguess;
+        Alcotest.test_case "recovery column replays" `Quick
+          test_recovery_column_exercises_replay;
+      ] );
+    ( "core.render",
+      [
+        Alcotest.test_case "grid renders" `Quick test_render_produces_grid;
+        Alcotest.test_case "summary counts" `Quick test_summarize_counts;
+        Alcotest.test_case "experiment counters" `Quick test_counters;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+(* Power-cut (torn-write) crash testing across the journaling file
+   systems: a [Fault.After n] whole-disk write failure models power
+   loss n writes into a run. After the "cut", the image is remounted
+   and checked:
+
+   - the volume must mount (recovery may replay or discard);
+   - files committed (fsync'd) before the cut must be fully intact;
+   - nothing may panic during recovery;
+   - for ext3, fsck must find no errors (leak warnings allowed: an
+     interrupted transaction may strand preallocated blocks).
+
+   The cut point sweeps the interesting range, so every prefix of the
+   commit sequence gets torn at least once per run — the classic
+   journaling torture test. *)
+
+open Iron_disk
+module Fault = Iron_fault.Fault
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Klog = Iron_vfs.Klog
+
+let check = Alcotest.check
+let qtest t =
+  (* Deterministic: the whole suite replays bit-for-bit. *)
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 3146 |]) t
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errno.to_string e)
+
+let content i = Printf.sprintf "payload-%d-%s" i (String.make (100 + (i * 37 mod 900)) 'c')
+
+(* One crash trial: commit [committed] files, then start more work and
+   cut power after [cut] further writes. Returns (mounted?, losses). *)
+let trial brand ~committed ~cut =
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 81 }
+      ()
+  in
+  Memdisk.set_time_model d false;
+  let inj = Fault.create (Memdisk.dev d) in
+  let dev = Fault.dev inj in
+  ok (Fs.mkfs brand dev);
+  let (Fs.Boxed ((module F), t)) = ok (Fs.mount brand dev) in
+  (* Phase 1: durable files. *)
+  for i = 0 to committed - 1 do
+    let fd = ok (F.creat t (Printf.sprintf "/done%d" i)) in
+    ignore (ok (F.write t fd ~off:0 (Bytes.of_string (content i))));
+    ok (F.fsync t fd);
+    ok (F.close t fd)
+  done;
+  (* Phase 2: racing work, with the power cut [cut] writes in. *)
+  ignore
+    (Fault.arm inj
+       (Fault.rule ~persistence:(Fault.After cut) Fault.Whole_disk Fault.Fail_write));
+  (try
+     for i = 0 to 5 do
+       match F.creat t (Printf.sprintf "/racing%d" i) with
+       | Ok fd ->
+           (match F.write t fd ~off:0 (Bytes.of_string (content (100 + i))) with
+           | Ok _ | Error _ -> ());
+           (match F.fsync t fd with Ok () | (exception Klog.Panic _) -> () | Error _ -> ());
+           ignore (F.close t fd)
+       | Error _ -> ()
+     done
+   with Klog.Panic _ -> () (* ReiserFS reacts to the dying disk by panicking *));
+  (* The machine is gone; the disk is whatever it is. Clear faults
+     (power is back) and remount. *)
+  Fault.disarm_all inj;
+  match Fs.mount brand dev with
+  | Error e -> (Some (Errno.to_string e), 0)
+  | Ok (Fs.Boxed ((module F2), t2)) ->
+      let losses = ref 0 in
+      for i = 0 to committed - 1 do
+        let path = Printf.sprintf "/done%d" i in
+        let expect = content i in
+        match F2.open_ t2 path Fs.Rd with
+        | Error _ -> incr losses
+        | Ok fd -> (
+            match F2.read t2 fd ~off:0 ~len:(String.length expect) with
+            | Ok data when Bytes.to_string data = expect -> ()
+            | Ok _ | Error _ -> incr losses)
+      done;
+      (None, !losses)
+
+let crash_suite_for name brand =
+  let test_committed_survive_cut () =
+    (* Sweep cut points: early cuts tear the journal mid-commit, later
+       ones tear checkpoints. *)
+    List.iter
+      (fun cut ->
+        match trial brand ~committed:4 ~cut with
+        | Some err, _ ->
+            Alcotest.failf "%s: volume unmountable after cut@%d (%s)" name cut err
+        | None, losses ->
+            if losses > 0 then
+              Alcotest.failf "%s: lost %d committed files after cut@%d" name losses cut)
+      [ 0; 1; 2; 3; 5; 8; 13; 21; 34 ]
+  in
+  Alcotest.test_case (name ^ ": committed data survives any cut point") `Slow
+    test_committed_survive_cut
+
+let prop_random_cut_points brand name =
+  QCheck.Test.make ~name:(name ^ ": random power-cut points") ~count:25
+    QCheck.(int_bound 60)
+    (fun cut ->
+      match trial brand ~committed:3 ~cut with
+      | None, 0 -> true
+      | None, _ -> false
+      | Some _, _ -> false)
+
+(* ext3 only: fsck after the crash+recovery finds no errors. *)
+let test_ext3_fsck_clean_after_crash () =
+  List.iter
+    (fun cut ->
+      let d =
+        Memdisk.create
+          ~params:{ Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 83 }
+          ()
+      in
+      Memdisk.set_time_model d false;
+      let inj = Fault.create (Memdisk.dev d) in
+      let dev = Fault.dev inj in
+      let brand = Iron_ext3.Ext3.std in
+      ok (Fs.mkfs brand dev);
+      let (Fs.Boxed ((module F), t)) = ok (Fs.mount brand dev) in
+      let fd = ok (F.creat t "/base") in
+      ignore (ok (F.write t fd ~off:0 (Bytes.make 5000 'b')));
+      ok (F.fsync t fd);
+      ignore
+        (Fault.arm inj
+           (Fault.rule ~persistence:(Fault.After cut) Fault.Whole_disk
+              Fault.Fail_write));
+      (try
+         for i = 0 to 3 do
+           match F.creat t (Printf.sprintf "/r%d" i) with
+           | Ok fd ->
+               ignore (F.write t fd ~off:0 (Bytes.make 3000 'r'));
+               (match F.sync t with Ok () | Error _ -> ())
+           | Error _ -> ()
+         done
+       with Klog.Panic _ -> ());
+      Fault.disarm_all inj;
+      (* Recovery... *)
+      let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+      ok (F2.unmount t2);
+      (* ...then consistency: no errors (leaked blocks are warnings). *)
+      let r = ok (Iron_ext3.Fsck.run dev) in
+      if not r.Iron_ext3.Fsck.clean then begin
+        List.iter
+          (fun f -> Printf.eprintf "  %s\n" f.Iron_ext3.Fsck.message)
+          r.Iron_ext3.Fsck.findings;
+        Alcotest.failf "fsck found errors after crash at cut=%d" cut
+      end)
+    [ 0; 2; 4; 7; 11; 18; 30 ]
+
+let suites =
+  [
+    ( "crash.powercut",
+      [
+        crash_suite_for "ext3" Iron_ext3.Ext3.std;
+        crash_suite_for "ixt3" Iron_ext3.Ext3.ixt3;
+        crash_suite_for "jfs" Iron_jfs.Jfs.brand;
+        crash_suite_for "reiserfs" Iron_reiserfs.Reiserfs.brand;
+        qtest (prop_random_cut_points Iron_ext3.Ext3.std "ext3");
+        qtest (prop_random_cut_points Iron_reiserfs.Reiserfs.brand "reiserfs");
+        qtest (prop_random_cut_points Iron_ext3.Ext3.ixt3 "ixt3");
+        qtest (prop_random_cut_points Iron_jfs.Jfs.brand "jfs");
+        Alcotest.test_case "ext3: fsck clean after crash" `Slow
+          test_ext3_fsck_clean_after_crash;
+      ] );
+  ]

@@ -1,0 +1,205 @@
+(* Differential fault testing: ixt3 (all IRON features) against an
+   in-memory reference model, under randomly injected fail-partial
+   faults.
+
+   The invariant is the end-to-end one the paper argues for (§3):
+   whatever faults the storage stack produces, a read either returns the
+   RIGHT bytes or an error — never silently wrong data — and the file
+   system never panics. Writes may fail (the journal aborts and the
+   volume goes read-only); after a failed or unverifiable write the
+   model releases its claim on that file's contents, but successful
+   reads must still agree with the last agreed state. *)
+
+open Iron_disk
+module Fault = Iron_fault.Fault
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Klog = Iron_vfs.Klog
+module Prng = Iron_util.Prng
+
+let qtest t =
+  (* Deterministic: the whole suite replays bit-for-bit. *)
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 3359 |]) t
+
+type op =
+  | Write of int * int * int (* file, offset-ish, length-ish *)
+  | Read of int * int * int
+  | Truncate of int * int
+  | Recreate of int
+  | Inject_fail of int (* pseudo-random block selector *)
+  | Inject_corrupt of int
+  | Clear_faults
+  | Sync
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map3 (fun a b c -> Write (a, b, c)) (int_bound 2) (int_bound 30) (int_bound 20));
+        (6, map3 (fun a b c -> Read (a, b, c)) (int_bound 2) (int_bound 30) (int_bound 20));
+        (1, map2 (fun a b -> Truncate (a, b)) (int_bound 2) (int_bound 10));
+        (1, map (fun a -> Recreate a) (int_bound 2));
+        (2, map (fun s -> Inject_fail s) (int_bound 10_000));
+        (2, map (fun s -> Inject_corrupt s) (int_bound 10_000));
+        (2, return Clear_faults);
+        (1, return Sync);
+      ])
+
+let print_op = function
+  | Write (f, o, l) -> Printf.sprintf "Write(%d,%d,%d)" f o l
+  | Read (f, o, l) -> Printf.sprintf "Read(%d,%d,%d)" f o l
+  | Truncate (f, n) -> Printf.sprintf "Truncate(%d,%d)" f n
+  | Recreate f -> Printf.sprintf "Recreate(%d)" f
+  | Inject_fail s -> Printf.sprintf "Inject_fail(%d)" s
+  | Inject_corrupt s -> Printf.sprintf "Inject_corrupt(%d)" s
+  | Clear_faults -> "Clear_faults"
+  | Sync -> "Sync"
+
+(* The reference: file -> Some contents (agreed) | None (unknown). *)
+type model = { contents : (int, string option) Hashtbl.t }
+
+let run_case ops =
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 91 }
+      ()
+  in
+  Memdisk.set_time_model d false;
+  let inj = Fault.create (Memdisk.dev d) in
+  let dev = Fault.dev inj in
+  let brand = Iron_ixt3.Ixt3.full in
+  (match Fs.mkfs brand dev with Ok () -> () | Error _ -> failwith "mkfs");
+  let (Fs.Boxed ((module F), t)) =
+    match Fs.mount brand dev with Ok b -> b | Error _ -> failwith "mount"
+  in
+  let model = { contents = Hashtbl.create 4 } in
+  let path f = Printf.sprintf "/file%d" f in
+  let fds = Hashtbl.create 4 in
+  let fd_of f =
+    match Hashtbl.find_opt fds f with
+    | Some fd -> Ok fd
+    | None -> (
+        match F.creat t (path f) with
+        | Ok fd ->
+            Hashtbl.replace fds f fd;
+            Hashtbl.replace model.contents f (Some "");
+            Ok fd
+        | Error Errno.EEXIST -> (
+            match F.open_ t (path f) Fs.Rdwr with
+            | Ok fd ->
+                Hashtbl.replace fds f fd;
+                Ok fd
+            | Error e -> Error e)
+        | Error e -> Error e)
+  in
+  let rng = Prng.create 0xD1FF in
+  let chunk f off len =
+    String.init len (fun i -> Char.chr (33 + ((f + off + i) mod 90)))
+  in
+  let taint f = Hashtbl.replace model.contents f None in
+  let ok = ref true in
+  let fail why op =
+    ok := false;
+    Printf.eprintf "differential: %s at %s\n" why (print_op op)
+  in
+  (try
+     List.iter
+       (fun op ->
+         if !ok then
+           match op with
+           | Inject_fail sel ->
+               (* Random block anywhere on the device. *)
+               let b = sel mod 2048 in
+               ignore (Fault.arm inj (Fault.rule (Fault.Block b) Fault.Fail_read));
+               ignore (Fault.arm inj (Fault.rule (Fault.Block b) Fault.Fail_write))
+           | Inject_corrupt sel ->
+               let b = sel mod 2048 in
+               ignore
+                 (Fault.arm inj
+                    (Fault.rule (Fault.Block b) (Fault.Corrupt (Fault.Noise sel))))
+           | Clear_faults -> Fault.disarm_all inj
+           | Sync -> (
+               match F.sync t with
+               | Ok () -> ()
+               | Error _ ->
+                   (* The journal aborted: nothing is trustworthy from
+                      here on; release every claim. *)
+                   Hashtbl.iter (fun f _ -> taint f) model.contents)
+           | Recreate f -> (
+               Hashtbl.remove fds f;
+               match F.unlink t (path f) with
+               | Ok () -> Hashtbl.remove model.contents f
+               | Error _ -> taint f)
+           | Truncate (f, n) -> (
+               let size = n * 100 in
+               match F.truncate t (path f) size with
+               | Ok () ->
+                   (match Hashtbl.find_opt model.contents f with
+                   | Some (Some s) ->
+                       let s' =
+                         if String.length s >= size then String.sub s 0 size
+                         else s ^ String.make (size - String.length s) '\000'
+                       in
+                       Hashtbl.replace model.contents f (Some s')
+                   | Some None | None -> ())
+               | Error _ -> taint f)
+           | Write (f, o, l) -> (
+               match fd_of f with
+               | Error _ -> taint f
+               | Ok fd -> (
+                   let off = o * 137 in
+                   let len = 1 + (l * 53) in
+                   let data = chunk f off len in
+                   match F.write t fd ~off (Bytes.of_string data) with
+                   | Ok n when n = len -> (
+                       match Hashtbl.find_opt model.contents f with
+                       | Some (Some s) ->
+                           let size = max (String.length s) (off + len) in
+                           let b = Bytes.make size '\000' in
+                           Bytes.blit_string s 0 b 0 (String.length s);
+                           Bytes.blit_string data 0 b off len;
+                           Hashtbl.replace model.contents f (Some (Bytes.to_string b))
+                       | Some None -> ()
+                       | None -> Hashtbl.replace model.contents f None)
+                   | Ok _ | Error _ -> taint f))
+           | Read (f, o, l) -> (
+               match Hashtbl.find_opt model.contents f with
+               | None | Some None -> () (* nothing agreed to check *)
+               | Some (Some s) -> (
+                   match fd_of f with
+                   | Error _ -> ()
+                   | Ok fd -> (
+                       let off = o * 137 in
+                       let len = 1 + (l * 53) in
+                       match F.read t fd ~off ~len with
+                       | Error _ -> () (* detected failure: acceptable *)
+                       | Ok data ->
+                           let expect_len = max 0 (min len (String.length s - off)) in
+                           let expect =
+                             if expect_len = 0 then "" else String.sub s off expect_len
+                           in
+                           if not (String.equal (Bytes.to_string data) expect) then
+                             fail "SILENT WRONG DATA" op))))
+       ops
+   with
+  | Klog.Panic msg ->
+      ok := false;
+      Printf.eprintf "differential: ixt3 panicked: %s\n" msg);
+  ignore rng;
+  !ok
+
+let prop_ixt3_never_lies =
+  QCheck.Test.make ~name:"ixt3 under random faults: right bytes or an error, never a lie"
+    ~count:60
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+       QCheck.Gen.(list_size (int_range 5 40) op_gen))
+    run_case
+
+let suites =
+  [
+    ( "differential",
+      [
+        qtest prop_ixt3_never_lies;
+      ] );
+  ]

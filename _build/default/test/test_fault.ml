@@ -1,0 +1,185 @@
+(* Tests for the fail-partial fault injector. *)
+
+open Iron_disk
+open Iron_fault
+
+let check = Alcotest.check
+
+let make () =
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 64; seed = 9 }
+      ()
+  in
+  let inj = Fault.create (Memdisk.dev d) in
+  (d, inj, Fault.dev inj)
+
+let block dev c = Bytes.make dev.Dev.block_size c
+
+let test_passthrough () =
+  let _, _, dev = make () in
+  Dev.write_exn dev 1 (block dev 'p');
+  check Alcotest.bytes "no rules = passthrough" (block dev 'p') (Dev.read_exn dev 1)
+
+let test_sticky_read_failure () =
+  let _, inj, dev = make () in
+  Dev.write_exn dev 2 (block dev 'd');
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 2) Fault.Fail_read));
+  for _ = 1 to 3 do
+    match dev.Dev.read 2 with
+    | Error Dev.Eio -> ()
+    | Ok _ | Error Dev.Enxio -> Alcotest.fail "expected sticky EIO"
+  done;
+  (* Other blocks unaffected. *)
+  match dev.Dev.read 3 with Ok _ -> () | Error _ -> Alcotest.fail "collateral"
+
+let test_transient_failure () =
+  let _, inj, dev = make () in
+  Dev.write_exn dev 4 (block dev 't');
+  ignore
+    (Fault.arm inj
+       (Fault.rule ~persistence:(Fault.Transient 2) (Fault.Block 4) Fault.Fail_read));
+  (match dev.Dev.read 4 with Error Dev.Eio -> () | _ -> Alcotest.fail "1st");
+  (match dev.Dev.read 4 with Error Dev.Eio -> () | _ -> Alcotest.fail "2nd");
+  match dev.Dev.read 4 with
+  | Ok data -> check Alcotest.bytes "3rd succeeds" (block dev 't') data
+  | Error _ -> Alcotest.fail "transient did not clear"
+
+let test_write_failure_drops_data () =
+  let d, inj, dev = make () in
+  Dev.write_exn dev 5 (block dev 'o');
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 5) Fault.Fail_write));
+  (match dev.Dev.write 5 (block dev 'n') with
+  | Error Dev.Eio -> ()
+  | _ -> Alcotest.fail "expected EIO");
+  check Alcotest.bytes "old data intact" (block dev 'o') (Memdisk.peek d 5)
+
+let test_corruption_silent () =
+  let _, inj, dev = make () in
+  Dev.write_exn dev 6 (block dev 'c');
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 6) (Fault.Corrupt (Fault.Noise 1))));
+  match dev.Dev.read 6 with
+  | Ok data ->
+      check Alcotest.bool "returns Ok with bad data" true
+        (not (Bytes.equal data (block dev 'c')))
+  | Error _ -> Alcotest.fail "corruption must be silent"
+
+let test_corruption_zeroes_and_bitflip () =
+  let _, inj, dev = make () in
+  Dev.write_exn dev 7 (block dev 'z');
+  let id = Fault.arm inj (Fault.rule (Fault.Block 7) (Fault.Corrupt Fault.Zeroes)) in
+  (match dev.Dev.read 7 with
+  | Ok data -> check Alcotest.bytes "zeroed" (block dev '\000') data
+  | Error _ -> Alcotest.fail "read");
+  Fault.disarm inj id;
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 7) (Fault.Corrupt (Fault.Bit_flip 3))));
+  match dev.Dev.read 7 with
+  | Ok data ->
+      let orig = block dev 'z' in
+      let diff = ref 0 in
+      Bytes.iteri
+        (fun i c -> if c <> Bytes.get orig i then incr diff)
+        data;
+      check Alcotest.int "exactly one byte differs" 1 !diff
+  | Error _ -> Alcotest.fail "read"
+
+let test_byte_shift () =
+  let _, inj, dev = make () in
+  let data = Bytes.init dev.Dev.block_size (fun i -> Char.chr (i mod 256)) in
+  Dev.write_exn dev 8 data;
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 8) (Fault.Corrupt Fault.Byte_shift)));
+  match dev.Dev.read 8 with
+  | Ok got ->
+      check Alcotest.char "first byte is old last byte"
+        (Bytes.get data (Bytes.length data - 1))
+        (Bytes.get got 0);
+      check Alcotest.char "second byte is old first" (Bytes.get data 0) (Bytes.get got 1)
+  | Error _ -> Alcotest.fail "read"
+
+let test_range_scratch () =
+  let _, inj, dev = make () in
+  ignore (Fault.arm inj (Fault.rule (Fault.Range (10, 14)) Fault.Fail_read));
+  for b = 10 to 14 do
+    match dev.Dev.read b with
+    | Error Dev.Eio -> ()
+    | _ -> Alcotest.fail "scratch block should fail"
+  done;
+  (match dev.Dev.read 9 with Ok _ -> () | Error _ -> Alcotest.fail "edge");
+  match dev.Dev.read 15 with Ok _ -> () | Error _ -> Alcotest.fail "edge"
+
+let test_whole_disk () =
+  let _, inj, dev = make () in
+  ignore (Fault.arm inj (Fault.rule Fault.Whole_disk Fault.Fail_read));
+  ignore (Fault.arm inj (Fault.rule Fault.Whole_disk Fault.Fail_write));
+  (match dev.Dev.read 0 with Error Dev.Eio -> () | _ -> Alcotest.fail "read");
+  match dev.Dev.write 1 (block dev 'x') with
+  | Error Dev.Eio -> ()
+  | _ -> Alcotest.fail "write"
+
+let test_tweak_corruption () =
+  let _, inj, dev = make () in
+  Dev.write_exn dev 9 (block dev 'a');
+  ignore
+    (Fault.arm inj
+       (Fault.rule (Fault.Block 9)
+          (Fault.Corrupt (Fault.Tweak (fun b -> Bytes.set b 0 'Z')))));
+  match dev.Dev.read 9 with
+  | Ok data ->
+      check Alcotest.char "field tweaked" 'Z' (Bytes.get data 0);
+      check Alcotest.char "rest intact" 'a' (Bytes.get data 1)
+  | Error _ -> Alcotest.fail "read"
+
+let test_fired_counter_and_disarm () =
+  let _, inj, dev = make () in
+  let id = Fault.arm inj (Fault.rule (Fault.Block 3) Fault.Fail_read) in
+  ignore (dev.Dev.read 3);
+  ignore (dev.Dev.read 3);
+  check Alcotest.int "fired twice" 2 (Fault.fired inj id);
+  Fault.disarm inj id;
+  match dev.Dev.read 3 with Ok _ -> () | Error _ -> Alcotest.fail "disarmed"
+
+let test_trace_records_outcomes () =
+  let _, inj, dev = make () in
+  Fault.set_classifier inj (fun b -> if b = 1 then "special" else "other");
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 1) Fault.Fail_read));
+  Dev.write_exn dev 0 (block dev 'w');
+  ignore (dev.Dev.read 1);
+  ignore (dev.Dev.read 2);
+  let tr = Fault.trace inj in
+  check Alcotest.int "three events" 3 (List.length tr);
+  let e1 = List.nth tr 1 in
+  check Alcotest.string "label" "special" e1.Fault.label;
+  (match e1.Fault.outcome with
+  | Fault.Io_error Dev.Eio -> ()
+  | _ -> Alcotest.fail "expected recorded error");
+  let e0 = List.nth tr 0 in
+  check Alcotest.bool "write recorded" true (e0.Fault.dir = Fault.Write)
+
+let test_trace_clear_and_toggle () =
+  let _, inj, dev = make () in
+  ignore (dev.Dev.read 0);
+  Fault.clear_trace inj;
+  check Alcotest.int "cleared" 0 (List.length (Fault.trace inj));
+  Fault.set_tracing inj false;
+  ignore (dev.Dev.read 0);
+  check Alcotest.int "tracing off" 0 (List.length (Fault.trace inj))
+
+let suites =
+  [
+    ( "fault.inject",
+      [
+        Alcotest.test_case "passthrough" `Quick test_passthrough;
+        Alcotest.test_case "sticky read failure" `Quick test_sticky_read_failure;
+        Alcotest.test_case "transient failure" `Quick test_transient_failure;
+        Alcotest.test_case "write failure drops data" `Quick test_write_failure_drops_data;
+        Alcotest.test_case "corruption is silent" `Quick test_corruption_silent;
+        Alcotest.test_case "zeroes and bit flips" `Quick test_corruption_zeroes_and_bitflip;
+        Alcotest.test_case "byte shift" `Quick test_byte_shift;
+        Alcotest.test_case "range scratch" `Quick test_range_scratch;
+        Alcotest.test_case "whole-disk failure" `Quick test_whole_disk;
+        Alcotest.test_case "field tweak" `Quick test_tweak_corruption;
+        Alcotest.test_case "fired counter / disarm" `Quick test_fired_counter_and_disarm;
+        Alcotest.test_case "trace records outcomes" `Quick test_trace_records_outcomes;
+        Alcotest.test_case "trace clear and toggle" `Quick test_trace_clear_and_toggle;
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* Reproduction fidelity: the paper's qualitative claims about each
+   file system's failure policy (§5), pinned as assertions over the
+   fingerprinting engine's output. If a model or the inference drifts,
+   these fail with the exact cell that moved.
+
+   Each expectation names (fs, fault, block type, workload column) and
+   the detection/recovery techniques that must (or must not) appear. *)
+
+module Driver = Iron_core.Driver
+module T = Iron_core.Taxonomy
+module W = Iron_core.Workload
+
+let reports = Hashtbl.create 4
+
+(* One full campaign per FS, shared across the expectations. *)
+let report brand =
+  let name = Iron_vfs.Fs.brand_name brand in
+  match Hashtbl.find_opt reports name with
+  | Some r -> r
+  | None ->
+      let r = Driver.fingerprint brand in
+      Hashtbl.replace reports name r;
+      r
+
+type expect = {
+  fs : Iron_vfs.Fs.brand;
+  fault : T.fault_kind;
+  row : string;
+  col : char;
+  claim : string; (* the paper's words, abbreviated *)
+  must_detect : T.detection list;
+  must_recover : T.recovery list;
+  must_not_recover : T.recovery list;
+}
+
+let e ?(must_detect = []) ?(must_recover = []) ?(must_not_recover = []) fs fault
+    row col claim =
+  { fs; fault; row; col; claim; must_detect; must_recover; must_not_recover }
+
+let ext3 = Iron_ext3.Ext3.std
+let reiser = Iron_reiserfs.Reiserfs.brand
+let jfs = Iron_jfs.Jfs.brand
+let ntfs = Iron_ntfs.Ntfs.brand
+let ixt3 = Iron_ext3.Ext3.ixt3
+
+let expectations =
+  [
+    (* --- ext3 (§5.1) --- *)
+    e ext3 T.Read_failure "inode" 'b'
+      "ext3 primarily uses error codes to detect read failures"
+      ~must_detect:[ T.DErrorCode ] ~must_recover:[ T.RPropagate ];
+    e ext3 T.Read_failure "bitmap" 'g'
+      "for read failures ext3 often aborts the journal (read-only remount)"
+      ~must_recover:[ T.RStop ];
+    e ext3 T.Write_failure "inode" 'g'
+      "when a write fails ext3 does not record the error code"
+      ~must_detect:[ T.DZero ] ~must_recover:[ T.RZero ];
+    e ext3 T.Write_failure "j-commit" 'q'
+      "ext3 still writes the rest of the transaction including the commit"
+      ~must_detect:[ T.DZero ];
+    e ext3 T.Read_failure "dir" 'f'
+      "ext3 retries only on its (prefetching) directory read path"
+      ~must_recover:[ T.RRetry ];
+    e ext3 T.Corruption "super" 'p'
+      "ext3 explicitly type-checks the superblock"
+      ~must_detect:[ T.DSanity ] ~must_recover:[ T.RStop ];
+    e ext3 T.Corruption "inode" 'o'
+      "unlink does not check links_count; a corrupted value crashes"
+      ~must_recover:[ T.RStop ];
+    e ext3 T.Corruption "data" 'd'
+      "no checks for user data: corruption is returned to the user"
+      ~must_detect:[ T.DZero ] ~must_recover:[ T.RGuess ];
+    (* --- ReiserFS (§5.2) --- *)
+    e reiser T.Write_failure "j-desc" 'g'
+      "ReiserFS panics on virtually any write failure"
+      ~must_recover:[ T.RStop ];
+    e reiser T.Write_failure "bitmap" 'g'
+      "checkpoint write failures panic too" ~must_recover:[ T.RStop ];
+    e reiser T.Write_failure "data" 'l'
+      "BUT a failed ordered data write is not handled at all"
+      ~must_detect:[ T.DZero ] ~must_recover:[ T.RZero ];
+    e reiser T.Corruption "root" 'a'
+      "node sanity-check failures panic instead of returning an error"
+      ~must_detect:[ T.DSanity ] ~must_recover:[ T.RStop ];
+    e reiser T.Corruption "super" 'p'
+      "the super block has a magic number which is checked"
+      ~must_detect:[ T.DSanity ];
+    e reiser T.Read_failure "data" 'd'
+      "when a data block read fails ReiserFS retries once, then propagates"
+      ~must_recover:[ T.RRetry; T.RPropagate ];
+    e reiser T.Corruption "j-data" 's'
+      "no checking of journal data: replaying corruption is silent"
+      ~must_detect:[ T.DZero ];
+    (* --- JFS (§5.3) --- *)
+    e jfs T.Read_failure "inode" 'b'
+      "generic code retries every failed metadata read a single time"
+      ~must_recover:[ T.RRetry; T.RPropagate ];
+    e jfs T.Read_failure "super" 'p'
+      "on primary superblock read failure JFS uses the alternate copy"
+      ~must_recover:[ T.RRedundancy ];
+    e jfs T.Corruption "super" 'p'
+      "but a corrupt primary fails the mount: the copy is not consulted"
+      ~must_recover:[ T.RStop ] ~must_not_recover:[ T.RRedundancy ];
+    e jfs T.Read_failure "bmap" 'g'
+      "explicit crashes when a block allocation map read fails"
+      ~must_recover:[ T.RStop ];
+    e jfs T.Write_failure "inode" 'g'
+      "most write errors are ignored" ~must_detect:[ T.DZero ]
+      ~must_recover:[ T.RZero ];
+    e jfs T.Write_failure "j-super" 'q'
+      "except journal superblock writes, which crash the system"
+      ~must_recover:[ T.RStop ];
+    e jfs T.Corruption "internal" 'd'
+      "a blank page is sometimes returned to the user"
+      ~must_recover:[ T.RGuess ];
+    (* --- NTFS (§5.4) --- *)
+    e ntfs T.Read_failure "mft" 'b'
+      "NTFS aggressively retries failed reads"
+      ~must_recover:[ T.RRetry; T.RPropagate ];
+    e ntfs T.Write_failure "data" 'l'
+      "a failed data write is recorded but the error is not used"
+      ~must_recover:[ T.RRetry ] ~must_not_recover:[ T.RPropagate ];
+    e ntfs T.Corruption "dir" 'f'
+      "strong sanity checking on metadata" ~must_detect:[ T.DSanity ];
+    (* --- ixt3 (§6) --- *)
+    e ixt3 T.Read_failure "inode" 'b'
+      "metadata read failures recover from the replica"
+      ~must_recover:[ T.RRedundancy ];
+    e ixt3 T.Read_failure "dir" 'f'
+      "including dynamically allocated directory blocks"
+      ~must_recover:[ T.RRedundancy ];
+    e ixt3 T.Read_failure "data" 'd'
+      "data read failures reconstruct from the parity group"
+      ~must_recover:[ T.RRedundancy ];
+    e ixt3 T.Corruption "inode" 'b'
+      "checksums detect corruption end to end"
+      ~must_detect:[ T.DRedundancy ] ~must_recover:[ T.RRedundancy ];
+    e ixt3 T.Corruption "data" 'd'
+      "data corruption is detected and repaired, never returned"
+      ~must_detect:[ T.DRedundancy ] ~must_not_recover:[ T.RGuess ];
+    e ixt3 T.Write_failure "inode" 'g'
+      "write failures are detected; the journal aborts (read-only)"
+      ~must_detect:[ T.DErrorCode ] ~must_recover:[ T.RStop ];
+    e ixt3 T.Corruption "j-data" 's'
+      "transactional checksums catch corrupt journal payloads"
+      ~must_detect:[ T.DRedundancy ];
+  ]
+
+let check_one exp () =
+  let r = report exp.fs in
+  let m = List.find (fun m -> m.Driver.fault = exp.fault) r.Driver.matrices in
+  let c = m.Driver.cell exp.row exp.col in
+  if c.Driver.fired = 0 then
+    Alcotest.failf "cell (%s,%c) never fired — cannot check: %s" exp.row exp.col
+      exp.claim;
+  let d_names = List.map T.detection_name c.Driver.detection in
+  let r_names = List.map T.recovery_name c.Driver.recovery in
+  let ctx () =
+    Printf.sprintf "[detected: %s; recovered: %s]"
+      (String.concat "," d_names) (String.concat "," r_names)
+  in
+  List.iter
+    (fun d ->
+      if not (List.mem d c.Driver.detection) then
+        Alcotest.failf "missing %s %s — %s" (T.detection_name d) (ctx ()) exp.claim)
+    exp.must_detect;
+  List.iter
+    (fun rc ->
+      if not (List.mem rc c.Driver.recovery) then
+        Alcotest.failf "missing %s %s — %s" (T.recovery_name rc) (ctx ()) exp.claim)
+    exp.must_recover;
+  List.iter
+    (fun rc ->
+      if List.mem rc c.Driver.recovery then
+        Alcotest.failf "unexpected %s %s — %s" (T.recovery_name rc) (ctx ()) exp.claim)
+    exp.must_not_recover
+
+let suites =
+  [
+    ( "fidelity",
+      List.map
+        (fun exp ->
+          let name =
+            Printf.sprintf "%s/%s/%s@%c" (Iron_vfs.Fs.brand_name exp.fs)
+              (match exp.fault with
+              | T.Read_failure -> "read"
+              | T.Write_failure -> "write"
+              | T.Corruption -> "corrupt")
+              exp.row exp.col
+          in
+          Alcotest.test_case name `Slow (check_one exp))
+        expectations );
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the offline checker/repairer (RRepair, §3.3). *)
+
+open Iron_disk
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Fsck = Iron_ext3.Fsck
+module Layout = Iron_ext3.Layout
+module Inode = Iron_ext3.Inode
+
+let check = Alcotest.check
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errno.to_string e)
+
+let built () =
+  let d = Memdisk.create () in
+  Memdisk.set_time_model d false;
+  let dev = Memdisk.dev d in
+  ok (Fs.mkfs Iron_ext3.Ext3.std dev);
+  let (Fs.Boxed ((module F), t)) = ok (Fs.mount Iron_ext3.Ext3.std dev) in
+  let fd = ok (F.creat t "/file") in
+  ignore (ok (F.write t fd ~off:0 (Bytes.make 20000 'f')));
+  ok (F.close t fd);
+  ok (F.mkdir t "/dir");
+  let fd = ok (F.creat t "/dir/nested") in
+  ignore (ok (F.write t fd ~off:0 (Bytes.of_string "n")));
+  ok (F.close t fd);
+  ok (F.unmount t);
+  (d, dev)
+
+let test_clean_volume_is_clean () =
+  let _, dev = built () in
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "clean" true r.Fsck.clean;
+  check Alcotest.int "no findings" 0 (List.length r.Fsck.findings)
+
+let test_detects_and_repairs_leak () =
+  let d, dev = built () in
+  let lay = Iron_ext3.Ext3.layout_of_dev dev in
+  let bb = Layout.bitmap_block lay 2 in
+  let buf = Memdisk.peek d bb in
+  Bytes.set buf 0 '\x0F' (* four stray bits *);
+  Memdisk.poke d bb buf;
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "still 'clean' (leaks are warnings)" true r.Fsck.clean;
+  check Alcotest.int "four leaks found" 4 (List.length r.Fsck.findings);
+  let r = ok (Fsck.run ~repair:true dev) in
+  check Alcotest.bool "repaired" true
+    (List.for_all (fun f -> f.Fsck.repaired) r.Fsck.findings);
+  let r = ok (Fsck.run dev) in
+  check Alcotest.int "clean after repair" 0 (List.length r.Fsck.findings)
+
+let test_detects_missing_allocation () =
+  let d, dev = built () in
+  let lay = Iron_ext3.Ext3.layout_of_dev dev in
+  (* Clear the whole group-0 bitmap: every used block becomes an error. *)
+  let bb = Layout.bitmap_block lay 0 in
+  Memdisk.poke d bb (Bytes.make 4096 '\000');
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "not clean" false r.Fsck.clean;
+  let r = ok (Fsck.run ~repair:true dev) in
+  ignore r;
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "clean after repair" true r.Fsck.clean
+
+let test_detects_dangling_dirent () =
+  let d, dev = built () in
+  (* Kill /dir/nested's inode behind the directory's back. *)
+  let lay = Iron_ext3.Ext3.layout_of_dev dev in
+  let cls = Iron_ext3.Classifier.classify (Memdisk.peek d) in
+  let itable = List.filter (fun b -> cls b = "inode") (List.init 2048 Fun.id) in
+  let victim_block = List.hd itable in
+  let buf = Memdisk.peek d victim_block in
+  (* Find the nested file's slot: the last allocated non-directory. *)
+  let last_file = ref (-1) in
+  for slot = 0 to (4096 / 128) - 1 do
+    let i = Inode.decode lay buf (slot * 128) in
+    if i.Inode.kind = Inode.Regular then last_file := slot
+  done;
+  check Alcotest.bool "found a file slot" true (!last_file >= 0);
+  Inode.encode lay (Inode.empty lay) buf (!last_file * 128);
+  Memdisk.poke d victim_block buf;
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "dangling entry reported" true
+    (List.exists
+       (fun f ->
+         let m = f.Fsck.message in
+         let rec find i =
+           i + 4 <= String.length m && (String.sub m i 4 = "dead" || find (i + 1))
+         in
+         find 0)
+       r.Fsck.findings)
+
+let test_detects_wrong_linkcount () =
+  let d, dev = built () in
+  let lay = Iron_ext3.Ext3.layout_of_dev dev in
+  let cls = Iron_ext3.Classifier.classify (Memdisk.peek d) in
+  let itable = List.hd (List.filter (fun b -> cls b = "inode") (List.init 2048 Fun.id)) in
+  let buf = Memdisk.peek d itable in
+  let fixed = ref false in
+  for slot = 0 to (4096 / 128) - 1 do
+    let i = Inode.decode lay buf (slot * 128) in
+    if i.Inode.kind = Inode.Regular && not !fixed then begin
+      Inode.encode lay { i with Inode.links = 9 } buf (slot * 128);
+      fixed := true
+    end
+  done;
+  Memdisk.poke d itable buf;
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "link count error" false r.Fsck.clean;
+  let _ = ok (Fsck.run ~repair:true dev) in
+  let r = ok (Fsck.run dev) in
+  check Alcotest.bool "clean after repair" true r.Fsck.clean
+
+let test_works_on_ixt3_volumes () =
+  let d = Memdisk.create () in
+  Memdisk.set_time_model d false;
+  let dev = Memdisk.dev d in
+  ok (Fs.mkfs Iron_ixt3.Ixt3.full dev);
+  let (Fs.Boxed ((module F), t)) = ok (Fs.mount Iron_ixt3.Ixt3.full dev) in
+  let fd = ok (F.creat t "/p") in
+  ignore (ok (F.write t fd ~off:0 (Bytes.make 9000 'p')));
+  ok (F.close t fd);
+  ok (F.unmount t);
+  let r = ok (Fsck.run dev) in
+  (* Parity blocks are reachable through the inode, so an ixt3 volume
+     checks clean too. *)
+  check Alcotest.bool "ixt3 volume clean" true r.Fsck.clean;
+  check Alcotest.int "no findings" 0 (List.length r.Fsck.findings)
+
+let suites =
+  [
+    ( "ext3.fsck",
+      [
+        Alcotest.test_case "clean volume" `Quick test_clean_volume_is_clean;
+        Alcotest.test_case "leak detect+repair" `Quick test_detects_and_repairs_leak;
+        Alcotest.test_case "missing allocation" `Quick test_detects_missing_allocation;
+        Alcotest.test_case "dangling directory entry" `Quick test_detects_dangling_dirent;
+        Alcotest.test_case "wrong link count" `Quick test_detects_wrong_linkcount;
+        Alcotest.test_case "ixt3 volumes" `Quick test_works_on_ixt3_volumes;
+      ] );
+  ]

@@ -1,0 +1,343 @@
+(* Generic VFS conformance suite: one set of behavioural tests applied
+   to every file-system model (ext3, ReiserFS, JFS, NTFS, ixt3). Each
+   implementation has its own on-disk format, journaling scheme and
+   failure policy, but the POSIX-visible semantics must agree. *)
+
+open Iron_disk
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+
+let check = Alcotest.check
+let errno = Alcotest.testable Errno.pp Errno.equal
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errno.to_string e)
+
+let expect_err expected = function
+  | Ok _ -> Alcotest.failf "expected %s, got Ok" (Errno.to_string expected)
+  | Error e -> check errno "errno" expected e
+
+let fresh brand =
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 21 }
+      ()
+  in
+  Memdisk.set_time_model d false;
+  let dev = Memdisk.dev d in
+  ok (Fs.mkfs brand dev);
+  (d, dev, ok (Fs.mount brand dev))
+
+let mkfile (Fs.Boxed ((module F), t)) path content =
+  let fd = ok (F.creat t path) in
+  let n = ok (F.write t fd ~off:0 (Bytes.of_string content)) in
+  check Alcotest.int "write length" (String.length content) n;
+  ok (F.close t fd)
+
+let readfile (Fs.Boxed ((module F), t)) path =
+  let fd = ok (F.open_ t path Fs.Rd) in
+  let st = ok (F.stat t path) in
+  let data = ok (F.read t fd ~off:0 ~len:st.Fs.st_size) in
+  ok (F.close t fd);
+  Bytes.to_string data
+
+let pattern tag n = String.init n (fun i -> Char.chr ((i + tag) mod 251))
+
+(* Every test takes the brand so the suite can be instantiated per FS. *)
+
+let t_roundtrip brand () =
+  let _, _, fs = fresh brand in
+  mkfile fs "/a.txt" "alpha beta";
+  check Alcotest.string "roundtrip" "alpha beta" (readfile fs "/a.txt")
+
+let t_overwrite brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/o" (pattern 1 9000);
+  let fd = ok (F.open_ t "/o" Fs.Rdwr) in
+  ignore (ok (F.write t fd ~off:4090 (Bytes.of_string "BRIDGE")));
+  ok (F.close t fd);
+  let s = readfile fs "/o" in
+  check Alcotest.string "spans blocks" "BRIDGE" (String.sub s 4090 6);
+  check Alcotest.int "size unchanged" 9000 (String.length s)
+
+let t_grow_with_offset_write brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/g" "123";
+  let fd = ok (F.open_ t "/g" Fs.Wr) in
+  ignore (ok (F.write t fd ~off:3 (Bytes.of_string "456")));
+  ok (F.close t fd);
+  check Alcotest.string "appended" "123456" (readfile fs "/g")
+
+let t_multiblock_file brand () =
+  let _, _, fs = fresh brand in
+  let content = pattern 7 (30 * 4096) in
+  mkfile fs "/blocks" content;
+  check Alcotest.string "content preserved"
+    (String.sub content 60000 2000)
+    (String.sub (readfile fs "/blocks") 60000 2000)
+
+let t_dirs brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  ok (F.mkdir t "/x");
+  ok (F.mkdir t "/x/y");
+  mkfile fs "/x/y/z" "nested";
+  check Alcotest.string "nested read" "nested" (readfile fs "/x/y/z");
+  let names = List.map fst (ok (F.getdirentries t "/x")) in
+  check Alcotest.bool "y listed" true (List.mem "y" names)
+
+let t_dot_entries brand () =
+  let _, _, (Fs.Boxed ((module F), t)) = fresh brand in
+  ok (F.mkdir t "/dotty");
+  let entries = ok (F.getdirentries t "/dotty") in
+  check Alcotest.bool "." true (List.mem_assoc "." entries);
+  check Alcotest.bool ".." true (List.mem_assoc ".." entries)
+
+let t_unlink_frees brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/die" (pattern 3 20000);
+  ok (F.unlink t "/die");
+  expect_err Errno.ENOENT (F.stat t "/die");
+  (* The name is reusable. *)
+  mkfile fs "/die" "reborn";
+  check Alcotest.string "recreated" "reborn" (readfile fs "/die")
+
+let t_link_semantics brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/one" "shared";
+  ok (F.link t "/one" "/two");
+  check Alcotest.int "two links" 2 (ok (F.stat t "/one")).Fs.st_links;
+  ok (F.unlink t "/one");
+  check Alcotest.string "data survives" "shared" (readfile fs "/two")
+
+let t_rename_moves brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  ok (F.mkdir t "/from");
+  ok (F.mkdir t "/to");
+  mkfile fs "/from/f" "cargo";
+  ok (F.rename t "/from/f" "/to/f2");
+  expect_err Errno.ENOENT (F.stat t "/from/f");
+  check Alcotest.string "moved" "cargo" (readfile fs "/to/f2")
+
+let t_rmdir_semantics brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  ok (F.mkdir t "/rd");
+  mkfile fs "/rd/block" "x";
+  expect_err Errno.ENOTEMPTY (F.rmdir t "/rd");
+  ok (F.unlink t "/rd/block");
+  ok (F.rmdir t "/rd")
+
+let t_symlinks brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/real" "solid";
+  ok (F.symlink t "/real" "/soft");
+  check Alcotest.string "target" "/real" (ok (F.readlink t "/soft"));
+  check Alcotest.string "followed" "solid" (readfile fs "/soft");
+  check Alcotest.bool "lstat kind" true
+    ((ok (F.lstat t "/soft")).Fs.st_kind = Fs.Symlink);
+  check Alcotest.bool "stat follows" true
+    ((ok (F.stat t "/soft")).Fs.st_kind = Fs.Regular)
+
+let t_symlink_loop brand () =
+  let _, _, (Fs.Boxed ((module F), t)) = fresh brand in
+  ok (F.symlink t "/b" "/a");
+  ok (F.symlink t "/a" "/b");
+  expect_err Errno.ELOOP (F.stat t "/a")
+
+let t_truncate brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/tr" (pattern 9 12000);
+  ok (F.truncate t "/tr" 5);
+  check Alcotest.int "size" 5 (ok (F.stat t "/tr")).Fs.st_size;
+  check Alcotest.string "prefix" (String.sub (pattern 9 12000) 0 5) (readfile fs "/tr")
+
+let t_attrs brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/at" "a";
+  ok (F.chmod t "/at" 0o751);
+  ok (F.utimes t "/at" 11.0 22.0);
+  let st = ok (F.stat t "/at") in
+  check Alcotest.int "mode" 0o751 st.Fs.st_mode;
+  check Alcotest.(float 0.01) "mtime" 22.0 st.Fs.st_mtime
+
+let t_chdir brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  ok (F.mkdir t "/workdir");
+  ok (F.chdir t "/workdir");
+  mkfile fs "relative" "cwd file";
+  check Alcotest.string "visible absolutely" "cwd file" (readfile fs "/workdir/relative")
+
+let t_statfs_decreases brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  let before = (ok (F.statfs t)).Fs.f_bfree in
+  mkfile fs "/consume" (pattern 5 40000);
+  let after = (ok (F.statfs t)).Fs.f_bfree in
+  check Alcotest.bool "free space decreased" true (after < before)
+
+let t_enoent_paths brand () =
+  let _, _, (Fs.Boxed ((module F), t)) = fresh brand in
+  expect_err Errno.ENOENT (F.stat t "/ghost");
+  expect_err Errno.ENOENT (F.open_ t "/ghost" Fs.Rd);
+  expect_err Errno.ENOENT (F.unlink t "/ghost");
+  expect_err Errno.ENOENT (F.stat t "/ghost/deeper")
+
+let t_eexist brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/dup" "1";
+  expect_err Errno.EEXIST (F.creat t "/dup");
+  ok (F.mkdir t "/dupdir");
+  expect_err Errno.EEXIST (F.mkdir t "/dupdir")
+
+let t_ebadf brand () =
+  let _, _, (Fs.Boxed ((module F), t)) = fresh brand in
+  expect_err Errno.EBADF (F.read t 4242 ~off:0 ~len:1);
+  expect_err Errno.EBADF (F.close t 4242)
+
+let t_read_only_fd brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/ro" "keep";
+  let fd = ok (F.open_ t "/ro" Fs.Rd) in
+  expect_err Errno.EBADF (F.write t fd ~off:0 (Bytes.of_string "nope"))
+
+let t_fsync_and_sync brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/s" "durable";
+  let fd = ok (F.open_ t "/s" Fs.Rd) in
+  ok (F.fsync t fd);
+  ok (F.close t fd);
+  ok (F.sync t)
+
+let t_remount_persistence brand () =
+  let _, dev, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  ok (F.mkdir t "/keepdir");
+  mkfile fs "/keepdir/f" (pattern 11 6000);
+  ok (F.unmount t);
+  let (Fs.Boxed ((module F2), t2) as fs2) = ok (Fs.mount brand dev) in
+  check Alcotest.string "across remount" (pattern 11 6000) (readfile fs2 "/keepdir/f");
+  let names = List.map fst (ok (F2.getdirentries t2 "/keepdir")) in
+  check Alcotest.bool "dir listing" true (List.mem "f" names)
+
+let t_crash_consistency brand () =
+  (* Commit via fsync, crash without unmount, remount: either the file
+     is fully there or cleanly absent; the volume must mount. *)
+  let _, dev, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/pre" "before";
+  let fd = ok (F.open_ t "/pre" Fs.Rd) in
+  ok (F.fsync t fd);
+  mkfile fs "/maybe" "racing";
+  (* crash: no unmount *)
+  let (Fs.Boxed ((module F2), t2) as fs2) = ok (Fs.mount brand dev) in
+  check Alcotest.string "committed file" "before" (readfile fs2 "/pre");
+  (match F2.stat t2 "/maybe" with
+  | Ok _ -> check Alcotest.string "complete if present" "racing" (readfile fs2 "/maybe")
+  | Error Errno.ENOENT -> ()
+  | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e))
+
+let t_deep_tree brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  let rec build path n =
+    if n > 0 then begin
+      ok (F.mkdir t path);
+      build (path ^ "/d") (n - 1)
+    end
+  in
+  build "/d" 6;
+  mkfile fs "/d/d/d/d/d/d/leaf" "deep";
+  check Alcotest.string "deep leaf" "deep" (readfile fs "/d/d/d/d/d/d/leaf")
+
+let t_many_files_in_dir brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  ok (F.mkdir t "/many");
+  for i = 0 to 39 do
+    mkfile fs (Printf.sprintf "/many/f%02d" i) (string_of_int i)
+  done;
+  let entries = ok (F.getdirentries t "/many") in
+  check Alcotest.int "40 files + dots" 42 (List.length entries);
+  check Alcotest.string "spot check" "17" (readfile fs "/many/f17")
+
+let t_truncate_then_extend_reads_zeros brand () =
+  (* Regression (found by the differential fault tester): shrinking a
+     file into the middle of a block and then growing it again must not
+     expose the stale pre-truncate bytes of that block. *)
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/tz" (String.make 3000 'S');
+  ok (F.truncate t "/tz" 900);
+  let fd = ok (F.open_ t "/tz" Fs.Wr) in
+  ignore (ok (F.write t fd ~off:2500 (Bytes.of_string "END")));
+  ok (F.close t fd);
+  let s = readfile fs "/tz" in
+  check Alcotest.int "size" 2503 (String.length s);
+  check Alcotest.string "kept prefix" (String.make 900 'S') (String.sub s 0 900);
+  check Alcotest.string "hole reads zeros" (String.make 1600 '\000')
+    (String.sub s 900 1600);
+  check Alcotest.string "tail" "END" (String.sub s 2500 3)
+
+let t_truncate_extends brand () =
+  let _, _, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  mkfile fs "/tx" "abc";
+  ok (F.truncate t "/tx" 10);
+  let s = readfile fs "/tx" in
+  check Alcotest.int "grown" 10 (String.length s);
+  check Alcotest.string "old prefix" "abc" (String.sub s 0 3);
+  check Alcotest.string "zero padding" (String.make 7 '\000') (String.sub s 3 7)
+
+let t_journal_pressure brand () =
+  (* Enough fsync'd transactions to wrap/checkpoint the journal several
+     times; everything must still be there after a clean remount. *)
+  let _, dev, (Fs.Boxed ((module F), t) as fs) = fresh brand in
+  for i = 0 to 79 do
+    let p = Printf.sprintf "/jp%02d" i in
+    mkfile fs p (pattern i 600);
+    let fd = ok (F.open_ t p Fs.Rd) in
+    ok (F.fsync t fd);
+    ok (F.close t fd)
+  done;
+  ok (F.unmount t);
+  let fs2 = ok (Fs.mount brand dev) in
+  for i = 0 to 79 do
+    let got = readfile fs2 (Printf.sprintf "/jp%02d" i) in
+    if not (String.equal got (pattern i 600)) then
+      Alcotest.failf "file %d damaged by journal churn" i
+  done
+
+let suite brand =
+  let tc name f = Alcotest.test_case name `Quick (f brand) in
+  [
+    tc "roundtrip" t_roundtrip;
+    tc "overwrite across blocks" t_overwrite;
+    tc "grow via offset write" t_grow_with_offset_write;
+    tc "multi-block file" t_multiblock_file;
+    tc "directories" t_dirs;
+    tc "dot entries" t_dot_entries;
+    tc "unlink frees" t_unlink_frees;
+    tc "hard links" t_link_semantics;
+    tc "rename moves" t_rename_moves;
+    tc "rmdir semantics" t_rmdir_semantics;
+    tc "symlinks" t_symlinks;
+    tc "symlink loop" t_symlink_loop;
+    tc "truncate" t_truncate;
+    tc "chmod/utimes" t_attrs;
+    tc "chdir relative" t_chdir;
+    tc "statfs decreases" t_statfs_decreases;
+    tc "ENOENT paths" t_enoent_paths;
+    tc "EEXIST" t_eexist;
+    tc "EBADF" t_ebadf;
+    tc "read-only fd" t_read_only_fd;
+    tc "fsync and sync" t_fsync_and_sync;
+    tc "remount persistence" t_remount_persistence;
+    tc "crash consistency" t_crash_consistency;
+    tc "deep tree" t_deep_tree;
+    tc "many files in dir" t_many_files_in_dir;
+    tc "journal pressure" t_journal_pressure;
+    tc "truncate tail zeroing" t_truncate_then_extend_reads_zeros;
+    tc "truncate extends" t_truncate_extends;
+  ]
+
+let suites =
+  [
+    ("genops.ext3", suite Iron_ext3.Ext3.std);
+    ("genops.reiserfs", suite Iron_reiserfs.Reiserfs.brand);
+    ("genops.jfs", suite Iron_jfs.Jfs.brand);
+    ("genops.ntfs", suite Iron_ntfs.Ntfs.brand);
+    ("genops.ixt3", suite Iron_ext3.Ext3.ixt3);
+  ]

@@ -1,0 +1,268 @@
+(* JFS-specific tests: record-level journaling and the §5.3 "kitchen
+   sink" policy with its documented inconsistencies. *)
+
+open Iron_disk
+module Fault = Iron_fault.Fault
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Klog = Iron_vfs.Klog
+
+let check = Alcotest.check
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errno.to_string e)
+
+let brand = Iron_jfs.Jfs.brand
+
+let fresh () =
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 41 }
+      ()
+  in
+  Memdisk.set_time_model d false;
+  let inj = Fault.create (Memdisk.dev d) in
+  let dev = Fault.dev inj in
+  ok (Fs.mkfs brand dev);
+  (d, inj, dev, ok (Fs.mount brand dev))
+
+let mkfile (Fs.Boxed ((module F), t)) path content =
+  let fd = ok (F.creat t path) in
+  ignore (ok (F.write t fd ~off:0 (Bytes.of_string content)));
+  ok (F.close t fd)
+
+let blocks_labeled d label =
+  let cls = Iron_jfs.Jfs.classify (Memdisk.peek d) in
+  List.filter (fun b -> cls b = label) (List.init 2048 Fun.id)
+
+(* --- record-level journal -------------------------------------------- *)
+
+let test_record_journal_recovers_small_updates () =
+  let _, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/small-change" "tiny";
+  let fd = ok (F.open_ t "/small-change" Fs.Rd) in
+  ok (F.fsync t fd);
+  (* crash *)
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  let st = ok (F2.stat t2 "/small-change") in
+  check Alcotest.int "size recovered" 4 st.Fs.st_size;
+  let logs = Klog.entries (F2.klog t2) in
+  check Alcotest.bool "record replay logged" true
+    (List.exists
+       (fun e ->
+         let m = String.lowercase_ascii e.Klog.message in
+         try String.length m > 8 && String.sub m 0 8 = "journal:" with _ -> false)
+       logs)
+
+let test_journal_records_are_compact () =
+  (* A one-byte metadata change should log a record far smaller than a
+     block — that is the point of record-level journaling. Measure the
+     journal traffic for a chmod. *)
+  let d, _, _, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/c" "c";
+  ok (F.sync t);
+  Memdisk.reset_stats d;
+  ok (F.chmod t "/c" 0o700);
+  let fd = ok (F.open_ t "/c" Fs.Rd) in
+  ok (F.fsync t fd);
+  let stats = Memdisk.stats d in
+  (* chmod = a few bytes of inode diff; the whole commit fits in one
+     journal block (+ jsuper is untouched until checkpoint). *)
+  check Alcotest.bool "commit wrote at most 2 blocks" true (stats.Memdisk.writes <= 2)
+
+let test_multiple_txns_one_journal_block () =
+  let d, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/a" "1";
+  let fd = ok (F.open_ t "/a" Fs.Rd) in
+  ok (F.fsync t fd);
+  ok (F.chmod t "/a" 0o700);
+  let fd2 = ok (F.open_ t "/a" Fs.Rd) in
+  ok (F.fsync t fd2);
+  (* crash: both transactions must replay in order *)
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  let st = ok (F2.stat t2 "/a") in
+  check Alcotest.int "later txn wins" 0o700 st.Fs.st_mode;
+  ignore d
+
+(* --- policy (§5.3) ---------------------------------------------------- *)
+
+let test_alternate_super_used_on_read_failure () =
+  let _, inj, dev, (Fs.Boxed ((module F), t)) = fresh () in
+  ok (F.unmount t);
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 1) Fault.Fail_read));
+  match Fs.mount brand dev with
+  | Ok (Fs.Boxed ((module F2), t2)) ->
+      let logs = Klog.entries (F2.klog t2) in
+      check Alcotest.bool "alternate consulted" true
+        (List.exists
+           (fun e ->
+             let m = String.lowercase_ascii e.Klog.message in
+             let rec find i =
+               i + 9 <= String.length m
+               && (String.sub m i 9 = "alternate" || find (i + 1))
+             in
+             find 0)
+           logs)
+  | Error e -> Alcotest.failf "mount should survive via alternate, got %s"
+                 (Errno.to_string e)
+
+let test_corrupt_primary_super_not_recovered () =
+  (* The inconsistency: a corrupt (not unreadable) primary is fatal even
+     though a perfectly good copy sits right next to it. *)
+  let d, _, dev, (Fs.Boxed ((module F), t)) = fresh () in
+  ok (F.unmount t);
+  let buf = Memdisk.peek d 1 in
+  Iron_util.Codec.write_u32 buf 0 0xBAD;
+  Memdisk.poke d 1 buf;
+  match Fs.mount brand dev with
+  | Ok _ -> Alcotest.fail "mount must fail despite the good secondary"
+  | Error e -> check Alcotest.bool "sanity errno" true (e = Errno.EUCLEAN)
+
+let test_aggr_secondary_never_used () =
+  let _, inj, dev, (Fs.Boxed ((module F), t)) = fresh () in
+  ok (F.unmount t);
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 3) Fault.Fail_read));
+  match Fs.mount brand dev with
+  | Ok _ -> Alcotest.fail "mount should fail: the secondary is never consulted"
+  | Error e -> check Alcotest.bool "EIO" true (e = Errno.EIO)
+
+let test_copies_are_spatially_adjacent () =
+  (* The paper's criticism: JFS puts copies right next to the primaries,
+     so one scratch takes out both. *)
+  let _, inj, dev, (Fs.Boxed ((module F), t)) = fresh () in
+  ok (F.unmount t);
+  ignore (Fault.arm inj (Fault.rule (Fault.Range (1, 4)) Fault.Fail_read));
+  match Fs.mount brand dev with
+  | Ok _ -> Alcotest.fail "a 4-block scratch kills primary and secondary"
+  | Error _ -> ()
+
+let test_crash_on_bmap_read_failure () =
+  let d, inj, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/pre" "p";
+  ok (F.unmount t);
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 7) Fault.Fail_read));
+  (try
+     (* creat allocates no data blocks; the first data write must read
+        the block allocation map - and halt. *)
+     let fd = ok (F2.creat t2 "/needs-alloc") in
+     ignore (F2.write t2 fd ~off:0 (Bytes.of_string "boom"));
+     Alcotest.fail "expected crash on block-map read failure"
+   with Klog.Panic _ -> ());
+  ignore d
+
+let test_blank_page_on_corrupt_internal () =
+  (* §5.3: an internal tree block that fails its sanity check yields a
+     blank page, silently. *)
+  let d, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  let big = String.make (20 * 4096) 'j' in
+  mkfile fs "/tree" big;
+  ok (F.unmount t);
+  (match blocks_labeled d "internal" with
+  | [] -> Alcotest.fail "no internal blocks"
+  | b :: _ ->
+      let buf = Memdisk.peek d b in
+      Bytes.set_uint16_le buf 0 999 (* entry count beyond cap *);
+      Memdisk.poke d b buf);
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  let fd = ok (F2.open_ t2 "/tree" Fs.Rd) in
+  (match F2.read t2 fd ~off:(10 * 4096) ~len:4096 with
+  | Ok data ->
+      check Alcotest.bytes "blank page returned" (Bytes.make 4096 '\000') data
+  | Error e -> Alcotest.failf "the bug returns Ok, got %s" (Errno.to_string e))
+
+let test_dir_sanity_check () =
+  let d, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/indir" "x";
+  ok (F.unmount t);
+  (match blocks_labeled d "dir" with
+  | [] -> Alcotest.fail "no dir blocks"
+  | b :: _ ->
+      let buf = Memdisk.peek d b in
+      Bytes.set_uint16_le buf 0 9999;
+      Memdisk.poke d b buf);
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  match F2.stat t2 "/indir" with
+  | Error Errno.EUCLEAN -> ()
+  | Ok _ -> Alcotest.fail "corrupt dir must be detected"
+  | Error e -> Alcotest.failf "expected EUCLEAN, got %s" (Errno.to_string e)
+
+let test_generic_read_retry () =
+  let d, inj, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/rr" "retry me";
+  ok (F.unmount t);
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  Fault.clear_trace inj;
+  (match blocks_labeled d "inode" with
+  | b :: _ -> ignore (Fault.arm inj (Fault.rule (Fault.Block b) Fault.Fail_read))
+  | [] -> Alcotest.fail "no inode blocks");
+  (match F2.stat t2 "/rr" with
+  | Error Errno.EIO -> ()
+  | Ok _ -> Alcotest.fail "expected EIO"
+  | Error e -> Alcotest.failf "expected EIO, got %s" (Errno.to_string e));
+  (* Exactly one retry: two failed reads of the same block back to back. *)
+  let failed_reads =
+    List.filter
+      (fun (e : Fault.event) ->
+        e.Fault.dir = Fault.Read
+        && match e.Fault.outcome with Fault.Io_error _ -> true | _ -> false)
+      (Fault.trace inj)
+  in
+  check Alcotest.int "read attempted twice" 2 (List.length failed_reads)
+
+let test_jsuper_write_failure_crashes () =
+  let _, inj, _, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/x" "x";
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 9) Fault.Fail_write));
+  (try
+     ignore (F.sync t) (* checkpoint writes the journal superblock *);
+     Alcotest.fail "expected crash on journal superblock write failure"
+   with Klog.Panic _ -> ())
+
+let test_data_write_failure_ignored () =
+  let d, inj, _, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/seed" "s";
+  ok (F.sync t);
+  (* Fail all writes beyond the metadata area. *)
+  ignore (Fault.arm inj (Fault.rule (Fault.Range (80, 2047)) Fault.Fail_write));
+  let fd = ok (F.creat t "/black-hole") in
+  (match F.write t fd ~off:0 (Bytes.of_string "gone") with
+  | Ok 4 -> ()
+  | Ok n -> Alcotest.failf "odd length %d" n
+  | Error e -> Alcotest.failf "data write errors are ignored, got %s" (Errno.to_string e));
+  ok (F.close t fd);
+  ignore d
+
+let suites =
+  [
+    ( "jfs.journal",
+      [
+        Alcotest.test_case "record replay after crash" `Quick
+          test_record_journal_recovers_small_updates;
+        Alcotest.test_case "records are compact" `Quick test_journal_records_are_compact;
+        Alcotest.test_case "multiple txns replay in order" `Quick
+          test_multiple_txns_one_journal_block;
+      ] );
+    ( "jfs.policy",
+      [
+        Alcotest.test_case "alternate super on read failure" `Quick
+          test_alternate_super_used_on_read_failure;
+        Alcotest.test_case "corrupt primary not recovered" `Quick
+          test_corrupt_primary_super_not_recovered;
+        Alcotest.test_case "aggregate secondary never used" `Quick
+          test_aggr_secondary_never_used;
+        Alcotest.test_case "copies spatially adjacent" `Quick
+          test_copies_are_spatially_adjacent;
+        Alcotest.test_case "crash on bmap read failure" `Quick
+          test_crash_on_bmap_read_failure;
+        Alcotest.test_case "blank page on corrupt internal" `Quick
+          test_blank_page_on_corrupt_internal;
+        Alcotest.test_case "dir sanity check" `Quick test_dir_sanity_check;
+        Alcotest.test_case "generic single read retry" `Quick test_generic_read_retry;
+        Alcotest.test_case "jsuper write failure crashes" `Quick
+          test_jsuper_write_failure_crashes;
+        Alcotest.test_case "data write failure ignored" `Quick
+          test_data_write_failure_ignored;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* NTFS-specific tests: the persistence (retry) policy and the strong
+   magic-based sanity checking of §5.4. *)
+
+open Iron_disk
+module Fault = Iron_fault.Fault
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+
+let check = Alcotest.check
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errno.to_string e)
+
+let brand = Iron_ntfs.Ntfs.brand
+
+let fresh () =
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 51 }
+      ()
+  in
+  Memdisk.set_time_model d false;
+  let inj = Fault.create (Memdisk.dev d) in
+  let dev = Fault.dev inj in
+  ok (Fs.mkfs brand dev);
+  (d, inj, dev, ok (Fs.mount brand dev))
+
+let mkfile (Fs.Boxed ((module F), t)) path content =
+  let fd = ok (F.creat t path) in
+  ignore (ok (F.write t fd ~off:0 (Bytes.of_string content)));
+  ok (F.close t fd)
+
+let failed_ops inj dir =
+  List.filter
+    (fun (e : Fault.event) ->
+      e.Fault.dir = dir
+      && match e.Fault.outcome with Fault.Io_error _ -> true | _ -> false)
+    (Fault.trace inj)
+
+let test_reads_retried_seven_times () =
+  let d, inj, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/persist" "p";
+  ok (F.unmount t);
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  Fault.clear_trace inj;
+  (* Fail the first MFT block. *)
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 35) Fault.Fail_read));
+  (match F2.stat t2 "/persist" with
+  | Error Errno.EIO -> ()
+  | Ok _ -> Alcotest.fail "expected EIO"
+  | Error e -> Alcotest.failf "expected EIO, got %s" (Errno.to_string e));
+  let fails = failed_ops inj Fault.Read in
+  check Alcotest.int "seven read attempts" 7
+    (List.length (List.filter (fun (e : Fault.event) -> e.Fault.block = 35) fails));
+  ignore d
+
+let test_data_writes_retried_three_times () =
+  let d, inj, _, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/w" "seed data here";
+  ok (F.sync t);
+  let cls = Iron_ntfs.Ntfs.classify (Memdisk.peek d) in
+  let data = List.find (fun b -> cls b = "data") (List.init 2048 Fun.id) in
+  Fault.clear_trace inj;
+  ignore (Fault.arm inj (Fault.rule (Fault.Block data) Fault.Fail_write));
+  let fd = ok (F.open_ t "/w" Fs.Rdwr) in
+  (* Error recorded but not used (DZero for data): the write "succeeds". *)
+  (match F.write t fd ~off:0 (Bytes.of_string "clobber") with
+  | Ok 7 -> ()
+  | Ok n -> Alcotest.failf "odd length %d" n
+  | Error e -> Alcotest.failf "data write error should be swallowed: %s"
+                 (Errno.to_string e));
+  let fails =
+    List.filter (fun (e : Fault.event) -> e.Fault.block = data)
+      (failed_ops inj Fault.Write)
+  in
+  check Alcotest.int "three write attempts" 3 (List.length fails)
+
+let test_corrupt_boot_unmountable () =
+  let d, _, dev, (Fs.Boxed ((module F), t)) = fresh () in
+  ok (F.unmount t);
+  let buf = Memdisk.peek d 0 in
+  Iron_util.Codec.write_u32 buf 0 0;
+  Memdisk.poke d 0 buf;
+  match Fs.mount brand dev with
+  | Ok _ -> Alcotest.fail "volume must be unmountable"
+  | Error e -> check Alcotest.bool "EUCLEAN" true (e = Errno.EUCLEAN)
+
+let test_mft_magic_checked () =
+  let d, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/m" "m";
+  ok (F.unmount t);
+  (* Zap the magic of every record in the first MFT block. *)
+  let buf = Memdisk.peek d 35 in
+  for slot = 0 to 3 do
+    Iron_util.Codec.write_u32 buf (slot * 1024) 0xBAD
+  done;
+  Memdisk.poke d 35 buf;
+  (* The volume refuses to mount: strong sanity on metadata. *)
+  match Fs.mount brand dev with
+  | Ok _ -> Alcotest.fail "corrupt MFT must be caught"
+  | Error e -> check Alcotest.bool "EUCLEAN" true (e = Errno.EUCLEAN)
+
+let test_index_magic_checked () =
+  let d, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/i" "i";
+  ok (F.unmount t);
+  let cls = Iron_ntfs.Ntfs.classify (Memdisk.peek d) in
+  let dirb = List.find (fun b -> cls b = "dir") (List.init 2048 Fun.id) in
+  let buf = Memdisk.peek d dirb in
+  Iron_util.Codec.write_u32 buf 0 0xBAD;
+  Memdisk.poke d dirb buf;
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  match F2.stat t2 "/i" with
+  | Error Errno.EUCLEAN -> ()
+  | Ok _ -> Alcotest.fail "corrupt index must be caught"
+  | Error e -> Alcotest.failf "expected EUCLEAN, got %s" (Errno.to_string e)
+
+let test_missed_pointer_check () =
+  (* §5.4: "a corrupted block pointer can point to important system
+     structures and hence corrupt them when the block pointed to is
+     updated". Point a file's first cluster at the volume bitmap and
+     write through it. *)
+  let d, _, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/trap" "clean";
+  ok (F.unmount t);
+  (* /trap is record 3 (slot 2 of the first MFT block); repoint its
+     first cluster at the volume bitmap. The root record stays sane so
+     the path walk reaches the trap. *)
+  let buf = Memdisk.peek d 35 in
+  Iron_util.Codec.write_u32 buf ((2 * 1024) + 28) 2;
+  Memdisk.poke d 35 buf;
+  let before = Memdisk.peek d 2 (* volume bitmap *) in
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  let fd = ok (F2.open_ t2 "/trap" Fs.Rdwr) in
+  (match F2.write t2 fd ~off:0 (Bytes.of_string "scribble") with
+  | Ok _ -> ()
+  | Error _ -> ());
+  let after = Memdisk.peek d 2 in
+  check Alcotest.bool "system structure silently overwritten" false
+    (Bytes.equal before after)
+
+let test_transient_fault_absorbed_by_retry () =
+  (* The payoff of persistence: a fault that clears within seven
+     attempts is invisible to the application. *)
+  let d, inj, dev, (Fs.Boxed ((module F), t) as fs) = fresh () in
+  mkfile fs "/flaky" "still here";
+  ok (F.unmount t);
+  let (Fs.Boxed ((module F2), t2)) = ok (Fs.mount brand dev) in
+  ignore
+    (Fault.arm inj
+       (Fault.rule ~persistence:(Fault.Transient 3) (Fault.Block 35) Fault.Fail_read));
+  let st = ok (F2.stat t2 "/flaky") in
+  check Alcotest.int "survived transient fault" 10 st.Fs.st_size;
+  ignore d
+
+let suites =
+  [
+    ( "ntfs.policy",
+      [
+        Alcotest.test_case "reads retried seven times" `Quick
+          test_reads_retried_seven_times;
+        Alcotest.test_case "data writes retried three times" `Quick
+          test_data_writes_retried_three_times;
+        Alcotest.test_case "corrupt boot unmountable" `Quick test_corrupt_boot_unmountable;
+        Alcotest.test_case "MFT magic checked" `Quick test_mft_magic_checked;
+        Alcotest.test_case "index magic checked" `Quick test_index_magic_checked;
+        Alcotest.test_case "missed pointer check" `Quick test_missed_pointer_check;
+        Alcotest.test_case "transient fault absorbed" `Quick
+          test_transient_fault_absorbed_by_retry;
+      ] );
+  ]
