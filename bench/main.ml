@@ -13,7 +13,13 @@
    scrub   - §3.2: eager (scrubbing) vs lazy latent-error discovery
    micro   - Bechamel microbenchmarks of the hot primitives
 
-   Run with no arguments for everything, or name the experiments. *)
+   Run with no arguments for everything, or name the experiments.
+
+   Options:
+     -j N         worker domains for campaign/variant fan-out
+     --json FILE  append machine-readable {experiment, wall_s, jobs,
+                  workers} records for the run (perf trajectory across
+                  PRs; see BENCH_fingerprint.json) *)
 
 module Driver = Iron_core.Driver
 module Render = Iron_core.Render
@@ -23,6 +29,13 @@ module Fs = Iron_vfs.Fs
 
 let hr title =
   Printf.printf "\n================ %s ================\n%!" title
+
+(* Worker domains for experiments that fan out independent runs
+   (campaigns, the 32 Table-6 variants); set by -j. *)
+let workers = ref 1
+
+(* Campaign jobs executed since the last checkpoint, for --json. *)
+let jobs_executed = ref 0
 
 (* --- E1: Figure 2 ----------------------------------------------------- *)
 
@@ -36,7 +49,8 @@ let report_of brand =
   match Hashtbl.find_opt reports name with
   | Some r -> r
   | None ->
-      let r = Driver.fingerprint brand in
+      let r = Driver.fingerprint ~jobs:!workers brand in
+      jobs_executed := !jobs_executed + r.Driver.stats.Driver.jobs_total;
       Hashtbl.replace reports name r;
       r
 
@@ -84,7 +98,7 @@ let robust () =
 
 let table6 () =
   hr "Table 6: time overheads of ixt3 variants";
-  let t = Iron_workloads.Table6.compute () in
+  let t = Iron_workloads.Table6.compute ~jobs:!workers () in
   Format.printf "%a@." Iron_workloads.Table6.pp t
 
 let space () =
@@ -103,8 +117,9 @@ let transient () =
     (fun brand ->
       let r =
         Driver.fingerprint ~faults:[ Iron_core.Taxonomy.Read_failure ]
-          ~persistence:(Fault.Transient 1) brand
+          ~persistence:(Fault.Transient 1) ~jobs:!workers brand
       in
+      jobs_executed := !jobs_executed + r.Driver.stats.Driver.jobs_total;
       let fired = Driver.experiments_run r in
       (* Absorbed = the workload still completed despite the fault. *)
       let absorbed =
@@ -336,10 +351,55 @@ let all_experiments =
     ("micro", micro);
   ]
 
+(* --- options + JSON perf records --------------------------------------- *)
+
+type record = {
+  experiment : string;
+  wall_s : float;
+  jobs : int;  (** campaign jobs executed during the experiment *)
+  rec_workers : int;
+}
+
+let write_json file records =
+  let oc = open_out file in
+  output_string oc "[\n";
+  let n = List.length records in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"experiment\": %S, \"wall_s\": %.3f, \"jobs\": %d, \"workers\": %d}%s\n"
+        r.experiment r.wall_s r.jobs r.rec_workers
+        (if i < n - 1 then "," else ""))
+    records;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.eprintf "wrote %d perf record%s to %s\n%!" n
+    (if n = 1 then "" else "s")
+    file
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json_file = ref None in
+  let rec parse names = function
+    | [] -> List.rev names
+    | ("-j" | "--jobs") :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> workers := j
+        | Some _ | None ->
+            Printf.eprintf "-j expects a positive integer, got %s\n" n;
+            exit 2);
+        parse names rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse names rest
+    | ("-j" | "--jobs" | "--json") :: [] ->
+        Printf.eprintf "missing argument\n";
+        exit 2
+    | n :: rest -> parse (n :: names) rest
+  in
+  let names = parse [] args in
   let chosen =
-    match args with
+    match names with
     | [] -> all_experiments
     | names ->
         List.filter_map
@@ -352,4 +412,16 @@ let () =
                 None)
           names
   in
-  List.iter (fun (_, f) -> f ()) chosen
+  let records =
+    List.map
+      (fun (name, f) ->
+        jobs_executed := 0;
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let wall_s = Unix.gettimeofday () -. t0 in
+        { experiment = name; wall_s; jobs = !jobs_executed; rec_workers = !workers })
+      chosen
+  in
+  match !json_file with
+  | Some file -> write_json file records
+  | None -> ()

@@ -32,43 +32,76 @@ let fs_args =
   Arg.(value & pos_all brand_conv [ Iron_ext3.Ext3.std ]
        & info [] ~docv:"FS" ~doc:"File systems to fingerprint.")
 
+(* -j N: worker domains for the campaign executor. The default is what
+   the runtime recommends for this machine. *)
+let jobs_arg =
+  Arg.(value
+       & opt int (Iron_util.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Number of worker domains for independent experiments \
+                 (default: the runtime's recommended domain count). The \
+                 output is byte-identical for any value.")
+
+let seed_arg =
+  Arg.(value
+       & opt int Iron_core.Experiment.default_seed
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed threaded through the experiment spec; two \
+                 runs with the same seed are identical by construction.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ]
+           ~doc:"Print per-campaign counters (jobs done/total, faults \
+                 fired, wall-clock) from the aggregator.")
+
+let pp_campaign_stats verbose report =
+  if verbose then
+    Format.eprintf "%s %a@." report.Iron_core.Driver.name
+      Iron_core.Driver.pp_stats report.Iron_core.Driver.stats
+
 let fingerprint_cmd =
-  let run fses =
+  let run fses jobs seed verbose =
     List.iter
       (fun brand ->
-        let report = Iron_core.Driver.fingerprint brand in
+        let report = Iron_core.Driver.fingerprint ~jobs ~seed brand in
         Format.printf "%a@." Iron_core.Render.pp_report report;
         Format.printf "fired=%d detected+recovered=%d@.@."
           (Iron_core.Driver.experiments_run report)
-          (Iron_core.Driver.detected_and_recovered report))
+          (Iron_core.Driver.detected_and_recovered report);
+        pp_campaign_stats verbose report)
       fses
   in
   Cmd.v
     (Cmd.info "fingerprint"
        ~doc:"Inject type-aware faults beneath a file system and print its failure-policy matrices (the paper's Figures 2 and 3).")
-    Term.(const run $ fs_args)
+    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg)
 
 let summary_cmd =
-  let run () =
+  let run jobs seed verbose =
     let reports =
       List.map
-        (fun (_, b) -> Iron_core.Driver.fingerprint b)
+        (fun (_, b) ->
+          let r = Iron_core.Driver.fingerprint ~jobs ~seed b in
+          pp_campaign_stats verbose r;
+          r)
         (List.filter (fun (n, _) -> n <> "ntfs" && n <> "ixt3") brands)
     in
     Format.printf "%a@." Iron_core.Render.pp_summary (Iron_core.Render.summarize reports)
   in
   Cmd.v
     (Cmd.info "summary" ~doc:"Table 5: which IRON techniques each file system uses.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg $ seed_arg $ verbose_arg)
 
 let bench_cmd =
-  let run () =
-    Format.printf "%a@." Iron_workloads.Table6.pp (Iron_workloads.Table6.compute ())
+  let run jobs =
+    Format.printf "%a@." Iron_workloads.Table6.pp
+      (Iron_workloads.Table6.compute ~jobs ())
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Table 6: time overheads of the 32 ixt3 feature combinations under SSH-Build, Web, PostMark and TPC-B.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let space_cmd =
   let run () =
@@ -79,19 +112,20 @@ let space_cmd =
     Term.(const run $ const ())
 
 let robust_cmd =
-  let run () =
+  let run jobs seed verbose =
     List.iter
       (fun (name, brand) ->
-        let r = Iron_core.Driver.fingerprint brand in
+        let r = Iron_core.Driver.fingerprint ~jobs ~seed brand in
         Format.printf "%-10s fired=%d detected+recovered=%d@." name
           (Iron_core.Driver.experiments_run r)
-          (Iron_core.Driver.detected_and_recovered r))
+          (Iron_core.Driver.detected_and_recovered r);
+        pp_campaign_stats verbose r)
       brands
   in
   Cmd.v
     (Cmd.info "robust"
        ~doc:"Count fault scenarios each file system detects and recovers from.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg $ seed_arg $ verbose_arg)
 
 let scrub_cmd =
   let run () =

@@ -1,3 +1,15 @@
+(* The fingerprinting engine, split into three layers (see driver.mli):
+
+     spec       Experiment.plan — pure enumeration of the campaign
+     executor   prepare + run_job — one job, one private device stack
+     aggregator aggregate — fold observations into matrices, spec order
+
+   The executor is embarrassingly parallel: every job restores its own
+   memdisk from a shared (immutable) snapshot, builds its own injector
+   and file-system instance, and returns a plain record. Worker count
+   therefore cannot change the output — the determinism contract the
+   tests pin down. *)
+
 module Memdisk = Iron_disk.Memdisk
 module Fault = Iron_fault.Fault
 module Fs = Iron_vfs.Fs
@@ -23,10 +35,20 @@ type matrix = {
   cell : string -> char -> cell;
 }
 
+type stats = {
+  jobs_total : int;
+  jobs_applicable : int;
+  jobs_fired : int;
+  faults_fired : int;
+  workers : int;
+  wall_s : float;
+}
+
 type report = {
   name : string;
   block_types : string list;
   matrices : matrix list;
+  stats : stats;
 }
 
 (* What we could observe from one faulted run (§4.3's visible outputs). *)
@@ -40,7 +62,7 @@ type observation = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Running one workload against a (possibly faulty) device             *)
+(* Executor: running one workload against a (possibly faulty) device   *)
 (* ------------------------------------------------------------------ *)
 
 (* [arm] is invoked at the start of the fault window; the injector's
@@ -253,23 +275,45 @@ let infer fault (obs : observation) trace target =
   end
 
 (* ------------------------------------------------------------------ *)
-(* The campaign                                                        *)
+(* Executor: prepared campaign context (shared, immutable after build) *)
 (* ------------------------------------------------------------------ *)
 
-let default_num_blocks = 2048
+(* Everything a job needs beyond its own spec. [base]/[crash] are disk
+   snapshots each job restores into its private memdisk; [dry] holds,
+   per workload column, the labelled fault-free I/O trace (target
+   selection) and a block→type table frozen as a plain [string array]
+   (so no job ever consults another job's live disk). None of it is
+   mutated once [prepare] returns, which is what makes sharing it
+   across worker domains safe. *)
+type prepared = {
+  base : Memdisk.snapshot;
+  crash : Memdisk.snapshot;
+  dry : (char * (Fault.event list * string array)) list;
+}
 
-let fingerprint ?(faults = Taxonomy.all_fault_kinds) ?(workloads = Workload.all)
-    ?block_types ?(num_blocks = default_num_blocks)
-    ?(persistence = Fault.Sticky) (Fs.Brand (module F) as brand) =
-  let block_types =
-    match block_types with Some ts -> ts | None -> F.block_types
-  in
+let fresh_disk ~num_blocks ~seed =
   let disk =
     Memdisk.create
-      ~params:{ Memdisk.default_params with Memdisk.num_blocks; seed = 0xF1D0 }
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks; seed }
       ()
   in
   Memdisk.set_time_model disk false;
+  disk
+
+let image_for prepared (w : Workload.t) =
+  match w.Workload.kind with
+  | Workload.Recovery_op -> prepared.crash
+  | Workload.Ops | Workload.Mount_op | Workload.Umount_op -> prepared.base
+
+(* Sequential phase: build the base and crash images, then dry-run each
+   workload once to learn its labelled I/O trace. This is ~1 run per
+   workload vs ~|block types| × |faults| runs per workload in the
+   parallel phase, so it is not worth parallelizing. *)
+let prepare (c : Experiment.t) =
+  let (Fs.Brand (module F)) = c.Experiment.brand in
+  let brand = c.Experiment.brand in
+  let num_blocks = c.Experiment.num_blocks in
+  let disk = fresh_disk ~num_blocks ~seed:c.Experiment.seed in
   let inj = Fault.create (Memdisk.dev disk) in
   let dev = Fault.dev inj in
   (* Base image: mkfs + fixture, cleanly unmounted. *)
@@ -294,101 +338,185 @@ let fingerprint ?(faults = Taxonomy.all_fault_kinds) ?(workloads = Workload.all)
       | Ok () -> () (* instance abandoned: this is the crash *)
       | Error e -> failwith ("fingerprint: crash prep failed: " ^ Errno.to_string e)));
   let crash = Memdisk.snapshot disk in
-  let image_for (w : Workload.t) =
-    match w.Workload.kind with Workload.Recovery_op -> crash | _ -> base
-  in
+  let prepared0 = { base; crash; dry = [] } in
   (* Dry runs: learn, per workload, the labelled I/O trace. *)
-  let dry = Hashtbl.create 32 in
-  List.iter
-    (fun (w : Workload.t) ->
-      Memdisk.restore disk (image_for w);
-      Fault.disarm_all inj;
-      Fault.clear_trace inj;
-      let pre = F.classifier (Memdisk.peek disk) in
-      let _obs = run_workload brand inj dev w ~arm:(fun () -> ()) in
-      let post = F.classifier (Memdisk.peek disk) in
-      let label b =
-        let l = post b in
-        if l = "?" then pre b else l
+  let dry =
+    List.map
+      (fun col ->
+        let w = Workload.find col in
+        Memdisk.restore disk (image_for prepared0 w);
+        Fault.disarm_all inj;
+        Fault.clear_trace inj;
+        let pre = F.classifier (Memdisk.peek disk) in
+        let _obs = run_workload brand inj dev w ~arm:(fun () -> ()) in
+        let post = F.classifier (Memdisk.peek disk) in
+        (* Freeze the combined oracle into a pure table. *)
+        let labels =
+          Array.init num_blocks (fun b ->
+              let l = post b in
+              if l = "?" then pre b else l)
+        in
+        let trace =
+          List.map
+            (fun (e : Fault.event) ->
+              { e with Fault.label = labels.(e.Fault.block) })
+            (Fault.trace inj)
+        in
+        (col, (trace, labels)))
+      c.Experiment.cols
+  in
+  { prepared0 with dry }
+
+(* Each worker domain keeps one scratch memdisk and reuses it across
+   jobs ([Memdisk.restore] overwrites every block, so a job sees only
+   the image it restored). Without this, every job's 8 MB of fresh
+   block buffers hammers the shared major heap and the parallel run is
+   slower than the serial one. Keyed by geometry so campaigns with
+   different [num_blocks] do not mix. *)
+let scratch_disk : (int * Memdisk.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scratch ~num_blocks ~seed =
+  let slot = Domain.DLS.get scratch_disk in
+  match !slot with
+  | Some (nb, disk) when nb = num_blocks -> disk
+  | Some _ | None ->
+      let disk = fresh_disk ~num_blocks ~seed in
+      slot := Some (num_blocks, disk);
+      disk
+
+(* One job, one private device stack: restore the image into this
+   domain's scratch memdisk, arm exactly one fault, run, infer.
+   Self-contained and re-entrant — this is the unit the domain pool
+   schedules. *)
+let run_job prepared (c : Experiment.t) (job : Experiment.job) =
+  let (Fs.Brand (module F)) = c.Experiment.brand in
+  let w = Workload.find job.Experiment.workload in
+  let trace, labels = List.assoc job.Experiment.workload prepared.dry in
+  let want_dir =
+    match job.Experiment.fault with
+    | Taxonomy.Read_failure | Taxonomy.Corruption -> Fault.Read
+    | Taxonomy.Write_failure -> Fault.Write
+  in
+  let target =
+    List.find_opt
+      (fun (e : Fault.event) ->
+        e.Fault.dir = want_dir && e.Fault.label = job.Experiment.block_type)
+      trace
+  in
+  match target with
+  | None -> empty_cell
+  | Some e ->
+      let target = e.Fault.block in
+      let disk =
+        scratch ~num_blocks:c.Experiment.num_blocks ~seed:job.Experiment.seed
       in
-      (* Label the trace with the combined oracle. *)
-      let trace =
-        List.map
-          (fun (e : Fault.event) -> { e with Fault.label = label e.Fault.block })
-          (Fault.trace inj)
+      let inj = Fault.create (Memdisk.dev disk) in
+      let dev = Fault.dev inj in
+      Memdisk.restore disk (image_for prepared w);
+      Fault.set_classifier inj (fun b ->
+          if b >= 0 && b < Array.length labels then labels.(b) else "?");
+      let kind =
+        match job.Experiment.fault with
+        | Taxonomy.Read_failure -> Fault.Fail_read
+        | Taxonomy.Write_failure -> Fault.Fail_write
+        | Taxonomy.Corruption ->
+            Fault.Corrupt
+              (match F.corrupt_field job.Experiment.block_type with
+              | Some tweak -> Fault.Tweak tweak
+              | None ->
+                  Fault.Noise (job.Experiment.seed lxor target lxor 0xBAD))
       in
-      Hashtbl.replace dry w.Workload.col (trace, label))
-    workloads;
-  (* The faulted runs. *)
+      let arm () =
+        ignore
+          (Fault.arm inj
+             (Fault.rule ~persistence:c.Experiment.persistence
+                (Fault.Block target) kind))
+      in
+      let brand = c.Experiment.brand in
+      let obs = run_workload brand inj dev w ~arm in
+      let ftrace = Fault.trace inj in
+      infer job.Experiment.fault obs ftrace target
+
+(* ------------------------------------------------------------------ *)
+(* Aggregator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold per-job cells (in spec order — the pool slots results by job
+   index) into the Figure-2/3 matrices. Worker count and completion
+   order cannot appear anywhere in the output; only [stats] mentions
+   the execution (and the renderers never print it). *)
+let aggregate (c : Experiment.t) ~workers ~wall_s cells =
+  let (Fs.Brand (module F)) = c.Experiment.brand in
   let results = Hashtbl.create 256 in
-  List.iter
-    (fun fault ->
-      List.iter
-        (fun (w : Workload.t) ->
-          let trace, label = Hashtbl.find dry w.Workload.col in
-          List.iter
-            (fun btype ->
-              let want_dir =
-                match fault with
-                | Taxonomy.Read_failure | Taxonomy.Corruption -> Fault.Read
-                | Taxonomy.Write_failure -> Fault.Write
-              in
-              let target =
-                List.find_opt
-                  (fun (e : Fault.event) ->
-                    e.Fault.dir = want_dir && e.Fault.label = btype)
-                  trace
-              in
-              let cell =
-                match target with
-                | None -> empty_cell
-                | Some e ->
-                    let target = e.Fault.block in
-                    Memdisk.restore disk (image_for w);
-                    Fault.disarm_all inj;
-                    Fault.clear_trace inj;
-                    Fault.set_classifier inj label;
-                    let kind =
-                      match fault with
-                      | Taxonomy.Read_failure -> Fault.Fail_read
-                      | Taxonomy.Write_failure -> Fault.Fail_write
-                      | Taxonomy.Corruption ->
-                          Fault.Corrupt
-                            (match F.corrupt_field btype with
-                            | Some tweak -> Fault.Tweak tweak
-                            | None -> Fault.Noise (target lxor 0xBAD))
-                    in
-                    let arm () =
-                      ignore
-                        (Fault.arm inj
-                           (Fault.rule ~persistence (Fault.Block target) kind))
-                    in
-                    let obs = run_workload brand inj dev w ~arm in
-                    let ftrace = Fault.trace inj in
-                    infer fault obs ftrace target
-              in
-              Hashtbl.replace results (fault, btype, w.Workload.col) cell)
-            block_types)
-        workloads)
-    faults;
-  let cols = List.map (fun (w : Workload.t) -> w.Workload.col) workloads in
+  List.iter2
+    (fun (job : Experiment.job) cell ->
+      Hashtbl.replace results
+        (job.Experiment.fault, job.Experiment.block_type, job.Experiment.workload)
+        cell)
+    c.Experiment.jobs cells;
   let matrices =
     List.map
       (fun fault ->
         {
           fs_name = F.fs_name;
           fault;
-          rows = block_types;
-          cols;
+          rows = c.Experiment.block_types;
+          cols = c.Experiment.cols;
           cell =
             (fun row col ->
               match Hashtbl.find_opt results (fault, row, col) with
-              | Some c -> c
+              | Some cl -> cl
               | None -> empty_cell);
         })
-      faults
+      c.Experiment.faults
   in
-  { name = F.fs_name; block_types; matrices }
+  let stats =
+    List.fold_left
+      (fun s (cl : cell) ->
+        {
+          s with
+          jobs_applicable = (s.jobs_applicable + if cl.applicable then 1 else 0);
+          jobs_fired = (s.jobs_fired + if cl.fired > 0 then 1 else 0);
+          faults_fired = s.faults_fired + cl.fired;
+        })
+      {
+        jobs_total = Experiment.total c;
+        jobs_applicable = 0;
+        jobs_fired = 0;
+        faults_fired = 0;
+        workers;
+        wall_s;
+      }
+      cells
+  in
+  { name = F.fs_name; block_types = c.Experiment.block_types; matrices; stats }
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(jobs = 1) (c : Experiment.t) =
+  let t0 = Unix.gettimeofday () in
+  let prepared = prepare c in
+  let cells =
+    Iron_util.Pool.map_jobs ~jobs (run_job prepared c) c.Experiment.jobs
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  aggregate c ~workers:(max 1 jobs) ~wall_s cells
+
+let fingerprint ?faults ?workloads ?block_types ?num_blocks ?persistence ?seed
+    ?jobs brand =
+  run ?jobs
+    (Experiment.plan ?faults ?workloads ?block_types ?num_blocks ?persistence
+       ?seed brand)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "campaign: %d jobs (%d applicable, %d fired), %d faults injected, %d worker%s, %.2fs"
+    s.jobs_total s.jobs_applicable s.jobs_fired s.faults_fired s.workers
+    (if s.workers = 1 then "" else "s")
+    s.wall_s
 
 let fold_cells report f init =
   List.fold_left

@@ -1,20 +1,30 @@
-(** The failure-policy fingerprinting engine (paper §4).
+(** The failure-policy fingerprinting engine (paper §4), in three
+    layers:
 
-    For one file-system brand, the driver:
+    + {b spec} — {!Experiment.plan} enumerates the campaign as a pure
+      list of self-contained jobs (fault kind × workload × block type,
+      each with a derived seed);
+    + {b executor} — each job runs against a {e private} device stack
+      (its own memdisk restored from a shared immutable snapshot, its
+      own injector, its own file-system instance) and yields one
+      {!cell}; jobs are scheduled on a fixed-size {!Iron_util.Pool}
+      of OCaml 5 domains;
+    + {b aggregator} — observations are folded back into the
+      Figure-2/3 matrices and counters in spec order.
 
-    + builds a base image (mkfs + the standard {!Workload.fixture}, plus
-      a crash image for the recovery column);
-    + dry-runs each workload, tracing and type-classifying every I/O to
-      learn which block of each type the workload touches and how;
-    + for each (block type, workload, fault kind) with a candidate
-      target, restores the image, arms one fault just below the file
-      system and re-runs;
-    + infers the detection and recovery techniques from the three
-      observables of §4.3 — API results, the kernel log, and the
-      low-level I/O trace.
+    Determinism contract: the rendered matrices and every counter are
+    byte-identical for any worker count ([~jobs]) and any completion
+    order, and two campaigns with the same [~seed] are identical runs.
+    Only {!stats} (wall-clock, worker count) reflects the execution,
+    and the renderers never print it.
 
-    Everything is deterministic: the same brand and seed give the same
-    matrices. *)
+    Before a job runs, the engine dry-runs each workload fault-free to
+    learn its type-labelled I/O trace (the per-block type oracle is
+    frozen into a plain array at that point), then, per (block type,
+    workload, fault kind) with a candidate target, restores the image,
+    arms one fault just below the file system and re-runs; detection
+    and recovery are inferred from the three observables of §4.3 —
+    API results, the kernel log, and the low-level I/O trace. *)
 
 type cell = {
   applicable : bool;  (** a target block of this type was accessed *)
@@ -34,11 +44,27 @@ type matrix = {
   cell : string -> char -> cell;
 }
 
+type stats = {
+  jobs_total : int;  (** enumerated (type, workload, fault) jobs *)
+  jobs_applicable : int;  (** jobs with a candidate target block *)
+  jobs_fired : int;  (** jobs whose armed fault actually triggered *)
+  faults_fired : int;  (** total trigger count across all jobs *)
+  workers : int;  (** worker domains used ([-j]) *)
+  wall_s : float;  (** campaign wall-clock, including preparation *)
+}
+
 type report = {
   name : string;
   block_types : string list;
   matrices : matrix list;  (** one per fault kind, in taxonomy order *)
+  stats : stats;  (** aggregator-sourced campaign counters *)
 }
+
+val run : ?jobs:int -> Experiment.t -> report
+(** Execute a planned campaign. [~jobs] (default 1) is the worker
+    count; [jobs <= 1] runs sequentially in the calling domain.
+    Workloads are looked up by column, so the plan must use columns
+    from {!Workload.all}. *)
 
 val fingerprint :
   ?faults:Taxonomy.fault_kind list ->
@@ -46,14 +72,20 @@ val fingerprint :
   ?block_types:string list ->
   ?num_blocks:int ->
   ?persistence:Iron_fault.Fault.persistence ->
+  ?seed:int ->
+  ?jobs:int ->
   Iron_vfs.Fs.brand ->
   report
-(** Run the full campaign (defaults: all fault kinds, all twenty
-    workloads, all of the brand's block types, a 2048-block volume,
-    sticky faults). Pass [~persistence:(Transient 1)] to measure
+(** [Experiment.plan] + {!run}: the full campaign (defaults: all fault
+    kinds, all twenty workloads, all of the brand's block types, a
+    2048-block volume, sticky faults, seed {!Experiment.default_seed},
+    one worker). Pass [~persistence:(Transient 1)] to measure
     tolerance of transient faults (§5.6: "retry is underutilized") —
     a fault that clears on the second attempt is absorbed exactly by
     the file systems that retry. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line of campaign counters, for [-v] output. *)
 
 val experiments_run : report -> int
 (** Number of (type, workload, fault) scenarios that actually fired. *)

@@ -39,9 +39,15 @@ type t = {
   mutable writes : int;
   mutable syncs : int;
   mutable seeks : int;
+  (* Blocks written (write/poke) since the last [restore]; lets a
+     repeated restore from the same snapshot re-blit only what changed.
+     The fingerprint executor restores the same 8 MB image hundreds of
+     times per campaign, and full blits are memory-bandwidth-bound. *)
+  touched : bool array;
+  mutable last_restored : snapshot option; (* physical identity *)
 }
 
-type snapshot = { blocks : bytes array }
+and snapshot = { blocks : bytes array }
 
 let create ?(params = default_params) () =
   {
@@ -56,6 +62,8 @@ let create ?(params = default_params) () =
     writes = 0;
     syncs = 0;
     seeks = 0;
+    touched = Array.make params.num_blocks false;
+    last_restored = None;
   }
 
 let transfer_ms t =
@@ -100,6 +108,7 @@ let write t b data =
     t.writes <- t.writes + 1;
     charge t b;
     Bytes.blit data 0 t.store.(b) 0 t.params.block_size;
+    t.touched.(b) <- true;
     t.dirty <- true;
     Ok ()
   end
@@ -142,12 +151,29 @@ let set_time_model t on = t.timed <- on
 let peek t b = Bytes.copy t.store.(b)
 
 let poke t b data =
-  Bytes.blit data 0 t.store.(b) 0 (min (Bytes.length data) (t.params.block_size))
+  Bytes.blit data 0 t.store.(b) 0 (min (Bytes.length data) (t.params.block_size));
+  t.touched.(b) <- true
 
 let snapshot t = { blocks = Array.map Bytes.copy t.store }
 
+(* A restore from the snapshot we already hold only has to undo the
+   blocks written since (snapshots are immutable once taken, so
+   physical identity implies identical content). Anything else — a
+   different snapshot, or no restore yet — is a full blit. *)
 let restore t s =
-  Array.iteri (fun i b -> Bytes.blit b 0 t.store.(i) 0 (Bytes.length b)) s.blocks;
+  (match t.last_restored with
+  | Some prev when prev == s ->
+      Array.iteri
+        (fun i touched ->
+          if touched then
+            Bytes.blit s.blocks.(i) 0 t.store.(i) 0 (Bytes.length s.blocks.(i)))
+        t.touched
+  | Some _ | None ->
+      Array.iteri
+        (fun i b -> Bytes.blit b 0 t.store.(i) 0 (Bytes.length b))
+        s.blocks);
+  Array.fill t.touched 0 (Array.length t.touched) false;
+  t.last_restored <- Some s;
   t.head <- 0;
   t.dirty <- false;
   reset_stats t

@@ -1,19 +1,22 @@
+(* The table is built eagerly at module load: forcing a [lazy]
+   concurrently from several domains is a race in OCaml 5 (it can raise
+   [CamlinternalLazy.Undefined]), and the campaign executor checksums
+   blocks from every worker domain. 256 words up front is free. *)
 let table =
-  lazy
-    (let t = Array.make 256 0 in
-     for n = 0 to 255 do
-       let c = ref n in
-       for _ = 0 to 7 do
-         if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
-         else c := !c lsr 1
-       done;
-       t.(n) <- !c
-     done;
-     t)
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+      else c := !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
 
 let update crc ?(off = 0) ?len b =
   let len = match len with Some l -> l | None -> Bytes.length b - off in
-  let t = Lazy.force table in
+  let t = table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = off to off + len - 1 do
     c := t.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)

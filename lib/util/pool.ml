@@ -1,0 +1,124 @@
+(* A fixed-size Domain worker pool over one hand-rolled Mutex/Condition
+   work queue. See pool.mli for the determinism contract. *)
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+(* Tasks are pre-wrapped by [map] and never raise; a stray exception
+   from a worker would tear down the domain, so belt-and-braces. *)
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.stop do
+      Condition.wait t.nonempty t.m
+    done;
+    if Queue.is_empty t.q then (* stop && empty: drain-then-exit *)
+      Mutex.unlock t.m
+    else begin
+      let task = Queue.pop t.q in
+      Mutex.unlock t.m;
+      (try task () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  let size = max 1 n in
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      stop = false;
+      workers = [];
+      size;
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+let with_pool n f =
+  let t = create n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Re-raise the lowest-indexed failure, after every job has run. *)
+let collect results =
+  let err =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, Some (Error e) -> Some e
+        | acc, _ -> acc)
+      None results
+  in
+  match err with
+  | Some e -> raise e
+  | None ->
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error _) | None -> assert false)
+           results)
+
+let map t f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let alldone = Condition.create () in
+    Mutex.lock t.m;
+    Array.iteri
+      (fun i x ->
+        Queue.push
+          (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            Mutex.lock t.m;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal alldone;
+            Mutex.unlock t.m)
+          t.q)
+      input;
+    Condition.broadcast t.nonempty;
+    while !remaining > 0 do
+      Condition.wait alldone t.m
+    done;
+    Mutex.unlock t.m;
+    collect results
+  end
+
+let map_jobs ~jobs f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then begin
+    (* The sequential baseline: same exactly-once + deferred-raise
+       semantics, no domains. *)
+    let results = Array.make n None in
+    List.iteri
+      (fun i x -> results.(i) <- Some (try Ok (f x) with e -> Error e))
+      xs;
+    collect results
+  end
+  else with_pool (min jobs n) (fun t -> map t f xs)
+
+let default_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,46 @@
+(** A fixed-size [Domain] worker pool (OCaml 5, no dependencies).
+
+    The fingerprinting campaign is hundreds of fully independent
+    experiments; this pool is the executor underneath it. It is a
+    hand-rolled work queue — one [Mutex] + two [Condition]s, worker
+    domains spawned once at [create] — so the repo stays on the stock
+    runtime (no domainslib).
+
+    Determinism contract: {!map} slots every result by its job index,
+    so the output order equals the input order regardless of worker
+    count or completion order. Every job runs exactly once, even when
+    other jobs raise; exceptions are re-raised in the calling domain,
+    lowest job index first. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [max 1 n] worker domains (clamped so that, with
+    the caller's own domain, we do not exceed what the runtime
+    supports). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Drain outstanding work, stop and join the workers. Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] over a fresh pool and always shuts it
+    down, even if [f] raises. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with order preserved by index slotting. All
+    jobs run to completion even if some raise; afterwards, if any job
+    raised, the exception of the lowest-indexed failing job is
+    re-raised here. *)
+
+val map_jobs : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_jobs ~jobs f xs]: [jobs <= 1] runs sequentially in the
+    calling domain (no domains spawned — the deterministic baseline);
+    otherwise a temporary pool of [jobs] workers is created, used and
+    shut down. The result, including raising behaviour, is identical
+    in both modes. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], the default for [-j]. *)

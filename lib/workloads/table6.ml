@@ -17,15 +17,19 @@ let time ?num_blocks ?seed brand app =
         (Printf.sprintf "table6: %s failed: %s" app.Apps.name
            (Iron_vfs.Errno.to_string e))
 
-let compute ?num_blocks ?seed () =
+let compute ?num_blocks ?seed ?(jobs = 1) () =
   let baselines =
     List.map
       (fun app -> (app.Apps.name, time ?num_blocks ?seed Iron_ext3.Ext3.std app))
       Apps.all
   in
+  (* The 32 variants are independent experiments (each [Runner.run]
+     builds its own device stack), so they fan out over the domain
+     pool; results slot back in variant order, keeping the table
+     byte-identical for any [jobs]. *)
   let rows =
-    List.mapi
-      (fun index (profile, brand) ->
+    Iron_util.Pool.map_jobs ~jobs
+      (fun (index, (profile, brand)) ->
         let ratios =
           List.map
             (fun app ->
@@ -35,7 +39,7 @@ let compute ?num_blocks ?seed () =
         in
         (* Paper row order counts feature bits upward with Tc fastest. *)
         { index; label = Iron_ext3.Profile.variant_label profile; ratios })
-      Iron_ixt3.Ixt3.all_variants
+      (List.mapi (fun i v -> (i, v)) Iron_ixt3.Ixt3.all_variants)
   in
   { baselines; rows }
 

@@ -12,8 +12,10 @@ type table = {
   rows : row list;
 }
 
-val compute : ?num_blocks:int -> ?seed:int -> unit -> table
-(** Runs 4 workloads x (1 baseline + 32 variants). Deterministic. *)
+val compute : ?num_blocks:int -> ?seed:int -> ?jobs:int -> unit -> table
+(** Runs 4 workloads x (1 baseline + 32 variants). Deterministic: the
+    table is byte-identical for any [jobs] (default 1); the 32 variant
+    rows fan out over an {!Iron_util.Pool} of worker domains. *)
 
 val pp : Format.formatter -> table -> unit
 (** Paper-style rendering: slowdowns over 10% marked with [*],

@@ -208,6 +208,49 @@ let test_counters () =
   check Alcotest.bool "recovered subset" true
     (Driver.detected_and_recovered r <= Driver.experiments_run r)
 
+(* The determinism contract for the parallel executor: the rendered
+   Figure 2/3 matrices and the Table 5 summary must be byte-identical
+   no matter how many worker domains ran the campaign.  Only [stats]
+   (wall-clock, worker count) may differ between runs. *)
+let test_parallel_byte_identical () =
+  let render jobs =
+    let r = Driver.fingerprint ~jobs Iron_ext3.Ext3.std in
+    let report = Format.asprintf "%a" Render.pp_report r in
+    let summary =
+      Format.asprintf "%a" Render.pp_summary (Render.summarize [ r ])
+    in
+    (report, summary)
+  in
+  let r1, s1 = render 1 in
+  let r4, s4 = render 4 in
+  check Alcotest.string "Figure 2/3 matrices byte-identical (j1 vs j4)" r1 r4;
+  check Alcotest.string "Table 5 summary byte-identical (j1 vs j4)" s1 s4
+
+(* Threading a seed through the spec pins the campaign: equal seeds
+   render identically, and the seed reaches every job's derived PRNG. *)
+let test_seed_threading () =
+  let render seed =
+    Format.asprintf "%a" Render.pp_report
+      (Driver.fingerprint ~seed
+         ~faults:[ Taxonomy.Read_failure ]
+         ~workloads:[ Workload.find 'a'; Workload.find 'c' ]
+         ~block_types:[ "inode"; "dir" ]
+         Iron_ext3.Ext3.std)
+  in
+  check Alcotest.string "same seed, same report" (render 42) (render 42);
+  let plan = Iron_core.Experiment.plan ~seed:7 Iron_ext3.Ext3.std in
+  let plan' = Iron_core.Experiment.plan ~seed:8 Iron_ext3.Ext3.std in
+  let seeds p =
+    List.map
+      (fun (j : Iron_core.Experiment.job) -> j.Iron_core.Experiment.seed)
+      p.Iron_core.Experiment.jobs
+  in
+  check Alcotest.bool "campaign seed reaches job seeds" true
+    (seeds plan <> seeds plan');
+  check Alcotest.int "plan covers the whole campaign"
+    (Iron_core.Experiment.total plan)
+    (List.length plan.Iron_core.Experiment.jobs)
+
 let suites =
   [
     ( "core.taxonomy",
@@ -237,6 +280,10 @@ let suites =
         Alcotest.test_case "data corruption = RGuess" `Quick test_data_corruption_rguess;
         Alcotest.test_case "recovery column replays" `Quick
           test_recovery_column_exercises_replay;
+        Alcotest.test_case "parallel run byte-identical to serial" `Slow
+          test_parallel_byte_identical;
+        Alcotest.test_case "seed threads through the spec" `Quick
+          test_seed_threading;
       ] );
     ( "core.render",
       [
