@@ -11,6 +11,7 @@
    space   - §6.2: space overheads of checksums/replication/parity
    ablate-tc - beyond-paper: transactional-checksum benefit vs commit batching
    scrub   - §3.2: eager (scrubbing) vs lazy latent-error discovery
+   obs-overhead - cost of the observability layer on a campaign (off vs on)
    micro   - Bechamel microbenchmarks of the hot primitives
 
    Run with no arguments for everything, or name the experiments.
@@ -18,8 +19,10 @@
    Options:
      -j N         worker domains for campaign/variant fan-out
      --json FILE  append machine-readable {experiment, wall_s, jobs,
-                  workers} records for the run (perf trajectory across
-                  PRs; see BENCH_fingerprint.json) *)
+                  workers, metrics} records for the run (perf trajectory
+                  across PRs; see BENCH_fingerprint.json). [metrics] holds
+                  the counters of the experiment's observed campaign when
+                  it ran one (obs-overhead does), else {}. *)
 
 module Driver = Iron_core.Driver
 module Render = Iron_core.Render
@@ -36,6 +39,11 @@ let workers = ref 1
 
 (* Campaign jobs executed since the last checkpoint, for --json. *)
 let jobs_executed = ref 0
+
+(* Metrics snapshot collected by the last experiment that ran an
+   observed campaign (obs-overhead does); reset per experiment and
+   embedded in its --json record. *)
+let collected_metrics : Iron_obs.Obs.snapshot ref = ref []
 
 (* --- E1: Figure 2 ----------------------------------------------------- *)
 
@@ -289,6 +297,37 @@ let scrub () =
   | Ok r -> Format.printf "second pass: %a@." Iron_ixt3.Scrub.pp_report r
   | Error e -> Format.printf "second scrub failed: %a@." Iron_vfs.Errno.pp e)
 
+(* --- observability overhead -------------------------------------------- *)
+
+let obs_overhead () =
+  hr "Observability overhead: one campaign, obs off vs on";
+  let brand = Iron_ext3.Ext3.std in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let off, t_off = timed (fun () -> Driver.fingerprint ~jobs:!workers brand) in
+  let on, t_on =
+    timed (fun () -> Driver.fingerprint ~jobs:!workers ~observe:true brand)
+  in
+  jobs_executed :=
+    !jobs_executed + off.Driver.stats.Driver.jobs_total
+    + on.Driver.stats.Driver.jobs_total;
+  (* The instrumentation must not change the result: same matrices. *)
+  let render r = Format.asprintf "%a" Render.pp_report r in
+  Printf.printf "matrices identical with obs on: %s\n"
+    (if String.equal (render off) (render on) then "yes" else "NO");
+  (match on.Driver.observed with
+  | Some o ->
+      collected_metrics := o.Driver.metrics;
+      Printf.printf "observed: %d metric paths, %d spans\n"
+        (List.length o.Driver.metrics)
+        (List.length o.Driver.spans)
+  | None -> ());
+  Printf.printf "obs off: %.3fs\nobs on:  %.3fs\noverhead: %+.1f%%\n" t_off t_on
+    (100.0 *. (t_on -. t_off) /. t_off)
+
 (* --- microbenchmarks --------------------------------------------------- *)
 
 let micro () =
@@ -348,6 +387,7 @@ let all_experiments =
     ("space", space);
     ("ablate-tc", ablate_tc);
     ("scrub", scrub);
+    ("obs-overhead", obs_overhead);
     ("micro", micro);
   ]
 
@@ -358,7 +398,22 @@ type record = {
   wall_s : float;
   jobs : int;  (** campaign jobs executed during the experiment *)
   rec_workers : int;
+  metrics : Iron_obs.Obs.snapshot;
+      (** observed-campaign counters, when the experiment ran one *)
 }
+
+(* Counters only: histograms carry bucket arrays that would swamp the
+   perf-trajectory file; the full registry is what --metrics (on the
+   iron CLI) is for. *)
+let json_metrics snap =
+  let counters =
+    List.filter_map
+      (function
+        | p, Iron_obs.Obs.Counter n -> Some (Printf.sprintf "%S: %d" p n)
+        | _, (Iron_obs.Obs.Gauge _ | Iron_obs.Obs.Histogram _) -> None)
+      snap
+  in
+  "{" ^ String.concat ", " counters ^ "}"
 
 let write_json file records =
   let oc = open_out file in
@@ -367,8 +422,8 @@ let write_json file records =
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "  {\"experiment\": %S, \"wall_s\": %.3f, \"jobs\": %d, \"workers\": %d}%s\n"
-        r.experiment r.wall_s r.jobs r.rec_workers
+        "  {\"experiment\": %S, \"wall_s\": %.3f, \"jobs\": %d, \"workers\": %d, \"metrics\": %s}%s\n"
+        r.experiment r.wall_s r.jobs r.rec_workers (json_metrics r.metrics)
         (if i < n - 1 then "," else ""))
     records;
   output_string oc "]\n";
@@ -416,10 +471,17 @@ let () =
     List.map
       (fun (name, f) ->
         jobs_executed := 0;
+        collected_metrics := [];
         let t0 = Unix.gettimeofday () in
         f ();
         let wall_s = Unix.gettimeofday () -. t0 in
-        { experiment = name; wall_s; jobs = !jobs_executed; rec_workers = !workers })
+        {
+          experiment = name;
+          wall_s;
+          jobs = !jobs_executed;
+          rec_workers = !workers;
+          metrics = !collected_metrics;
+        })
       chosen
   in
   match !json_file with

@@ -5,7 +5,11 @@
      iron bench                    Table 6 overheads
      iron space                    space overheads
      iron scrub                    the scrubbing demo
-     iron robust                   detected-and-recovered counts *)
+     iron robust                   detected-and-recovered counts
+     iron stats                    observed campaign metrics table
+
+   fingerprint, robust and bench also take --trace FILE / --metrics FILE
+   to export Chrome-trace / JSONL views of the run ('-' = stdout). *)
 
 open Cmdliner
 
@@ -55,27 +59,81 @@ let verbose_arg =
            ~doc:"Print per-campaign counters (jobs done/total, faults \
                  fired, wall-clock) from the aggregator.")
 
+(* --trace/--metrics: export the observability layer's outputs. "-"
+   means stdout. Either flag switches the campaign to ~observe:true. *)
+let trace_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event file (open in chrome://tracing \
+                 or Perfetto) of the campaign's spans to $(docv) ('-' for \
+                 stdout). The span set is byte-identical for any -j.")
+
+let metrics_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the merged metrics registry as JSONL to $(docv) \
+                 ('-' for stdout). Byte-identical for any -j.")
+
+let write_output path contents =
+  match path with
+  | "-" -> print_string contents
+  | file ->
+      let oc = open_out file in
+      output_string oc contents;
+      close_out oc
+
+let export_observed ~trace ~metrics observed =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      let procs =
+        List.map
+          (fun (name, (o : Iron_core.Driver.observed)) -> (name, o.Iron_core.Driver.spans))
+          observed
+      in
+      write_output path (Iron_obs.Obs.chrome_trace procs));
+  match metrics with
+  | None -> ()
+  | Some path ->
+      let snap =
+        Iron_obs.Obs.merge
+          (List.map
+             (fun (_, (o : Iron_core.Driver.observed)) -> o.Iron_core.Driver.metrics)
+             observed)
+      in
+      write_output path (Iron_obs.Obs.jsonl_of_snapshot snap)
+
 let pp_campaign_stats verbose report =
   if verbose then
     Format.eprintf "%s %a@." report.Iron_core.Driver.name
       Iron_core.Driver.pp_stats report.Iron_core.Driver.stats
 
 let fingerprint_cmd =
-  let run fses jobs seed verbose =
-    List.iter
-      (fun brand ->
-        let report = Iron_core.Driver.fingerprint ~jobs ~seed brand in
-        Format.printf "%a@." Iron_core.Render.pp_report report;
-        Format.printf "fired=%d detected+recovered=%d@.@."
-          (Iron_core.Driver.experiments_run report)
-          (Iron_core.Driver.detected_and_recovered report);
-        pp_campaign_stats verbose report)
-      fses
+  let run fses jobs seed verbose trace metrics =
+    let observe = trace <> None || metrics <> None in
+    let observed =
+      List.filter_map
+        (fun brand ->
+          let report = Iron_core.Driver.fingerprint ~jobs ~seed ~observe brand in
+          Format.printf "%a@." Iron_core.Render.pp_report report;
+          Format.printf "fired=%d detected+recovered=%d@.@."
+            (Iron_core.Driver.experiments_run report)
+            (Iron_core.Driver.detected_and_recovered report);
+          pp_campaign_stats verbose report;
+          Option.map
+            (fun o -> (report.Iron_core.Driver.name, o))
+            report.Iron_core.Driver.observed)
+        fses
+    in
+    export_observed ~trace ~metrics observed
   in
   Cmd.v
     (Cmd.info "fingerprint"
        ~doc:"Inject type-aware faults beneath a file system and print its failure-policy matrices (the paper's Figures 2 and 3).")
-    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg)
+    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg $ trace_arg
+          $ metrics_arg)
 
 let summary_cmd =
   let run jobs seed verbose =
@@ -94,14 +152,32 @@ let summary_cmd =
     Term.(const run $ jobs_arg $ seed_arg $ verbose_arg)
 
 let bench_cmd =
-  let run jobs =
-    Format.printf "%a@." Iron_workloads.Table6.pp
-      (Iron_workloads.Table6.compute ~jobs ())
+  let run jobs trace metrics =
+    let observe = trace <> None || metrics <> None in
+    if not observe then
+      Format.printf "%a@." Iron_workloads.Table6.pp
+        (Iron_workloads.Table6.compute ~jobs ())
+    else begin
+      let obs = Iron_obs.Obs.create () in
+      let table = Iron_workloads.Table6.compute ~obs ~jobs () in
+      Format.printf "%a@." Iron_workloads.Table6.pp table;
+      (match trace with
+      | None -> ()
+      | Some path ->
+          (* Span order is only meaningful at -j 1; see Table6.compute. *)
+          write_output path
+            (Iron_obs.Obs.chrome_trace [ ("bench", Iron_obs.Obs.spans obs) ]));
+      match metrics with
+      | None -> ()
+      | Some path ->
+          write_output path
+            (Iron_obs.Obs.jsonl_of_snapshot (Iron_obs.Obs.snapshot obs))
+    end
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Table 6: time overheads of the 32 ixt3 feature combinations under SSH-Build, Web, PostMark and TPC-B.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 let space_cmd =
   let run () =
@@ -112,20 +188,47 @@ let space_cmd =
     Term.(const run $ const ())
 
 let robust_cmd =
-  let run jobs seed verbose =
-    List.iter
-      (fun (name, brand) ->
-        let r = Iron_core.Driver.fingerprint ~jobs ~seed brand in
-        Format.printf "%-10s fired=%d detected+recovered=%d@." name
-          (Iron_core.Driver.experiments_run r)
-          (Iron_core.Driver.detected_and_recovered r);
-        pp_campaign_stats verbose r)
-      brands
+  let run jobs seed verbose trace metrics =
+    let observe = trace <> None || metrics <> None in
+    let observed =
+      List.filter_map
+        (fun (name, brand) ->
+          let r = Iron_core.Driver.fingerprint ~jobs ~seed ~observe brand in
+          Format.printf "%-10s fired=%d detected+recovered=%d@." name
+            (Iron_core.Driver.experiments_run r)
+            (Iron_core.Driver.detected_and_recovered r);
+          pp_campaign_stats verbose r;
+          Option.map (fun o -> (name, o)) r.Iron_core.Driver.observed)
+        brands
+    in
+    export_observed ~trace ~metrics observed
   in
   Cmd.v
     (Cmd.info "robust"
        ~doc:"Count fault scenarios each file system detects and recovers from.")
-    Term.(const run $ jobs_arg $ seed_arg $ verbose_arg)
+    Term.(const run $ jobs_arg $ seed_arg $ verbose_arg $ trace_arg
+          $ metrics_arg)
+
+let stats_cmd =
+  let run fses jobs seed verbose =
+    List.iter
+      (fun brand ->
+        let report = Iron_core.Driver.fingerprint ~jobs ~seed ~observe:true brand in
+        (match report.Iron_core.Driver.observed with
+        | Some o ->
+            Format.printf "== %s ==@.%a@." report.Iron_core.Driver.name
+              Iron_obs.Obs.pp_snapshot o.Iron_core.Driver.metrics
+        | None -> ());
+        pp_campaign_stats verbose report)
+      fses
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run an observed fingerprinting campaign and print the merged \
+             metrics registry (disk I/O, injected faults, journal commits, \
+             scrub passes) as a per-subsystem table. Deterministic: \
+             byte-identical for any -j with the same --seed.")
+    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg)
 
 let scrub_cmd =
   let run () =
@@ -215,4 +318,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd; scrub_cmd; fsck_cmd ]))
+          [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd;
+            stats_cmd; scrub_cmd; fsck_cmd ]))

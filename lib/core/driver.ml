@@ -15,6 +15,7 @@ module Fault = Iron_fault.Fault
 module Fs = Iron_vfs.Fs
 module Errno = Iron_vfs.Errno
 module Klog = Iron_vfs.Klog
+module Obs = Iron_obs.Obs
 
 type cell = {
   applicable : bool;
@@ -44,11 +45,23 @@ type stats = {
   wall_s : float;
 }
 
+(* Campaign observability, split along the determinism boundary:
+   [metrics]/[spans] are keyed on simulated time and merged in spec
+   order, so they are byte-stable across worker counts; [exec] holds
+   wall-clock executor telemetry (pool queue/run histograms) and is
+   the one part allowed to vary run to run. *)
+type observed = {
+  metrics : Obs.snapshot;
+  spans : Obs.span list;
+  exec : Obs.snapshot;
+}
+
 type report = {
   name : string;
   block_types : string list;
   matrices : matrix list;
   stats : stats;
+  observed : observed option;
 }
 
 (* What we could observe from one faulted run (§4.3's visible outputs). *)
@@ -309,13 +322,27 @@ let image_for prepared (w : Workload.t) =
    workload once to learn its labelled I/O trace. This is ~1 run per
    workload vs ~|block types| × |faults| runs per workload in the
    parallel phase, so it is not worth parallelizing. *)
-let prepare (c : Experiment.t) =
+let prepare ?obs (c : Experiment.t) =
+  (* With a context, the whole phase runs with it ambient (so journal
+     spans from deep inside the file systems land here) and the device
+     stack is instrumented: memdisk -> injector(obs) -> Dev.observe. *)
+  let instrument f =
+    match obs with
+    | None -> f ()
+    | Some o ->
+        Obs.with_ambient o (fun () ->
+            Obs.span o ~subsystem:"driver" "prepare" f)
+  in
+  instrument @@ fun () ->
   let (Fs.Brand (module F)) = c.Experiment.brand in
   let brand = c.Experiment.brand in
   let num_blocks = c.Experiment.num_blocks in
   let disk = fresh_disk ~num_blocks ~seed:c.Experiment.seed in
-  let inj = Fault.create (Memdisk.dev disk) in
+  let inj = Fault.create ?obs (Memdisk.dev disk) in
   let dev = Fault.dev inj in
+  let dev =
+    match obs with None -> dev | Some o -> Iron_disk.Dev.observe o dev
+  in
   (* Base image: mkfs + fixture, cleanly unmounted. *)
   (match Fs.mkfs brand dev with
   | Ok () -> ()
@@ -389,7 +416,15 @@ let scratch ~num_blocks ~seed =
    domain's scratch memdisk, arm exactly one fault, run, infer.
    Self-contained and re-entrant — this is the unit the domain pool
    schedules. *)
-let run_job prepared (c : Experiment.t) (job : Experiment.job) =
+let run_job ?obs prepared (c : Experiment.t) (job : Experiment.job) =
+  let instrument f =
+    match obs with
+    | None -> f ()
+    | Some o ->
+        Obs.with_ambient o (fun () ->
+            Obs.span o ~subsystem:"driver" "job" f)
+  in
+  instrument @@ fun () ->
   let (Fs.Brand (module F)) = c.Experiment.brand in
   let w = Workload.find job.Experiment.workload in
   let trace, labels = List.assoc job.Experiment.workload prepared.dry in
@@ -411,8 +446,11 @@ let run_job prepared (c : Experiment.t) (job : Experiment.job) =
       let disk =
         scratch ~num_blocks:c.Experiment.num_blocks ~seed:job.Experiment.seed
       in
-      let inj = Fault.create (Memdisk.dev disk) in
+      let inj = Fault.create ?obs (Memdisk.dev disk) in
       let dev = Fault.dev inj in
+      let dev =
+        match obs with None -> dev | Some o -> Iron_disk.Dev.observe o dev
+      in
       Memdisk.restore disk (image_for prepared w);
       Fault.set_classifier inj (fun b ->
           if b >= 0 && b < Array.length labels then labels.(b) else "?");
@@ -490,24 +528,79 @@ let aggregate (c : Experiment.t) ~workers ~wall_s cells =
       }
       cells
   in
-  { name = F.fs_name; block_types = c.Experiment.block_types; matrices; stats }
+  {
+    name = F.fs_name;
+    block_types = c.Experiment.block_types;
+    matrices;
+    stats;
+    observed = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(jobs = 1) (c : Experiment.t) =
+let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
   let t0 = Unix.gettimeofday () in
-  let prepared = prepare c in
-  let cells =
-    Iron_util.Pool.map_jobs ~jobs (run_job prepared c) c.Experiment.jobs
-  in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  aggregate c ~workers:(max 1 jobs) ~wall_s cells
+  if not observe then begin
+    let prepared = prepare c in
+    let cells =
+      Iron_util.Pool.map_jobs ~jobs (run_job prepared c) c.Experiment.jobs
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    aggregate c ~workers:(max 1 jobs) ~wall_s cells
+  end
+  else begin
+    (* Observed campaign. Each job gets a private context created and
+       snapshotted inside the job function, so metrics and spans are a
+       pure function of the job spec; the aggregator merges them in
+       spec order (the pool slots results by index), which keeps the
+       exported observables independent of [-j]. Executor telemetry
+       (wall-clock pool waits) goes to a separate shared context that
+       is deliberately kept out of the deterministic snapshot. *)
+    let prep_obs = Obs.create () in
+    let prepared = prepare ~obs:prep_obs c in
+    let prep_snap = Obs.snapshot prep_obs in
+    let prep_spans = Obs.with_tid 0 (Obs.spans prep_obs) in
+    let exec_obs = Obs.create () in
+    let on_job ~queue_ms ~run_ms =
+      Obs.incr exec_obs "pool.job";
+      Obs.observe exec_obs "pool.job.queue_ms" queue_ms;
+      Obs.observe exec_obs "pool.job.run_ms" run_ms
+    in
+    let observed_job job =
+      let obs = Obs.create () in
+      let cell = run_job ~obs prepared c job in
+      let snap = Obs.snapshot obs in
+      let spans = Obs.spans obs in
+      Obs.release obs;
+      (cell, snap, spans)
+    in
+    let results =
+      Iron_util.Pool.map_jobs ~on_job ~jobs observed_job c.Experiment.jobs
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cells = List.map (fun (cell, _, _) -> cell) results in
+    let metrics =
+      Obs.merge (prep_snap :: List.map (fun (_, snap, _) -> snap) results)
+    in
+    let spans =
+      prep_spans
+      @ List.concat
+          (List.mapi
+             (fun i (_, _, spans) -> Obs.with_tid (i + 1) spans)
+             results)
+    in
+    let report = aggregate c ~workers:(max 1 jobs) ~wall_s cells in
+    {
+      report with
+      observed = Some { metrics; spans; exec = Obs.snapshot exec_obs };
+    }
+  end
 
 let fingerprint ?faults ?workloads ?block_types ?num_blocks ?persistence ?seed
-    ?jobs brand =
-  run ?jobs
+    ?jobs ?observe brand =
+  run ?jobs ?observe
     (Experiment.plan ?faults ?workloads ?block_types ?num_blocks ?persistence
        ?seed brand)
 

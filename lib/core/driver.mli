@@ -53,18 +53,40 @@ type stats = {
   wall_s : float;  (** campaign wall-clock, including preparation *)
 }
 
+(** Campaign observability (present when run with [~observe:true]),
+    split along the determinism boundary. *)
+type observed = {
+  metrics : Iron_obs.Obs.snapshot;
+      (** preparation + per-job registries, merged in spec order —
+          byte-identical for any [-j] *)
+  spans : Iron_obs.Obs.span list;
+      (** preparation spans (lane 0) then each job's spans on lane
+          [job index + 1], in spec order — byte-identical for any
+          [-j]. Fingerprint campaigns run with the disk time model
+          off, so timestamps are all zero and [seq] carries order. *)
+  exec : Iron_obs.Obs.snapshot;
+      (** wall-clock executor telemetry ([pool.job.queue_ms] /
+          [pool.job.run_ms] histograms) — {e not} deterministic, and
+          deliberately kept out of [metrics] *)
+}
+
 type report = {
   name : string;
   block_types : string list;
   matrices : matrix list;  (** one per fault kind, in taxonomy order *)
   stats : stats;  (** aggregator-sourced campaign counters *)
+  observed : observed option;  (** [None] unless [~observe:true] *)
 }
 
-val run : ?jobs:int -> Experiment.t -> report
+val run : ?jobs:int -> ?observe:bool -> Experiment.t -> report
 (** Execute a planned campaign. [~jobs] (default 1) is the worker
     count; [jobs <= 1] runs sequentially in the calling domain.
     Workloads are looked up by column, so the plan must use columns
-    from {!Workload.all}. *)
+    from {!Workload.all}. With [~observe:true] (default false) every
+    phase runs under an observability context — the device stack is
+    wrapped in {!Iron_disk.Dev.observe}, the injector double-emits its
+    I/O trace, and journal/scrub spans are captured — and the report
+    carries an {!observed} record. *)
 
 val fingerprint :
   ?faults:Taxonomy.fault_kind list ->
@@ -74,6 +96,7 @@ val fingerprint :
   ?persistence:Iron_fault.Fault.persistence ->
   ?seed:int ->
   ?jobs:int ->
+  ?observe:bool ->
   Iron_vfs.Fs.brand ->
   report
 (** [Experiment.plan] + {!run}: the full campaign (defaults: all fault

@@ -23,3 +23,26 @@ let write_exn t b data =
   match t.write b data with
   | Ok () -> ()
   | Error e -> failwith (Printf.sprintf "write %d: %s" b (error_to_string e))
+
+(* Observation layer: stacks like the fault injector, forwarding every
+   request below while feeding the metrics registry. Durations come
+   from the wrapped device's own (simulated) clock, so the numbers are
+   deterministic wherever the device is. *)
+let observe obs t =
+  Iron_obs.Obs.set_clock obs t.now;
+  let timed path f =
+    let t0 = t.now () in
+    let r = f () in
+    Iron_obs.Obs.incr obs path;
+    Iron_obs.Obs.observe obs (path ^ ".ms") (t.now () -. t0);
+    (match r with
+    | Error _ -> Iron_obs.Obs.incr obs (path ^ ".error")
+    | Ok _ -> ());
+    r
+  in
+  {
+    t with
+    read = (fun b -> timed "disk.read" (fun () -> t.read b));
+    write = (fun b data -> timed "disk.write" (fun () -> t.write b data));
+    sync = (fun () -> timed "disk.sync" (fun () -> t.sync ()));
+  }

@@ -37,3 +37,13 @@ val read_exn : t -> int -> bytes
 (** Convenience for setup and test code; raises [Failure] on error. *)
 
 val write_exn : t -> int -> bytes -> unit
+
+val observe : Iron_obs.Obs.t -> t -> t
+(** [observe obs dev] interposes the observability layer: every
+    [read]/[write]/[sync] is counted into [obs] under [disk.read],
+    [disk.write], [disk.sync] (with [.error] companions) and its
+    simulated-time latency recorded into the matching [.ms] histogram.
+    Also installs [dev]'s clock as [obs]'s time source, so spans opened
+    above this device carry simulated timestamps. Stacks like the fault
+    injector; typically the outermost wrapper, directly beneath the
+    file system. *)

@@ -5,6 +5,7 @@ module Errno = Iron_vfs.Errno
 module Klog = Iron_vfs.Klog
 module Fs = Iron_vfs.Fs
 module VPath = Iron_vfs.Path
+module Obs = Iron_obs.Obs
 
 let ( let* ) = Result.bind
 
@@ -276,6 +277,7 @@ let write_jsuper t =
    the log. Stock ext3 ignores checkpoint write failures entirely —
    DZero on writes. *)
 let checkpoint t =
+  Obs.span_a ~subsystem:"ext3.journal" "checkpoint" @@ fun () ->
   (* Elevator order: writeback sweeps the disk in one direction, as the
      kernel's flusher would, instead of seeking in insertion order. *)
   let blocks = List.sort compare (List.rev t.pending_order) in
@@ -301,7 +303,9 @@ let checkpoint t =
 let commit t =
   if Hashtbl.length t.txn = 0 && t.txn_revoked = [] then Ok ()
   else if t.aborted then Error Errno.EROFS
-  else begin
+  else
+    Obs.span_a ~subsystem:"ext3.journal" "commit" @@ fun () ->
+    begin
     (* Replica copies do not ride the regular journal: they stream to
        the separate replica log below (§6.1) and reach their fixed
        homes at checkpoint. *)
@@ -1220,6 +1224,7 @@ let mkfs_impl profile dev =
 (* ------------------------------------------------------------------ *)
 
 let recover_journal profile lay dev klog =
+  Obs.span_a ~subsystem:"ext3.journal" "recover" @@ fun () ->
   let bs = lay.Layout.block_size in
   let jstart = lay.Layout.journal_start in
   let jlimit = jstart + lay.Layout.journal_len in
@@ -1376,7 +1381,7 @@ let recover_journal profile lay dev klog =
   end
 
 let mount_impl profile dev =
-  let klog = Klog.create () in
+  let klog = Klog.create ~clock:dev.Dev.now () in
   (* Read and validate the superblock; ixt3 falls back to the copies. *)
   let read_sb () =
     let try_block b =

@@ -38,20 +38,24 @@ type t = {
   mutable rules : armed list;
   mutable next_id : int;
   mutable classifier : int -> string;
-  mutable events : event list; (* newest first *)
+  events : event Iron_obs.Ring.t; (* oldest first, bounded *)
   mutable seq : int;
   mutable tracing : bool;
+  obs : Iron_obs.Obs.t option;
 }
 
-let create below =
+let default_trace_cap = 65536
+
+let create ?obs ?(trace_cap = default_trace_cap) below =
   {
     below;
     rules = [];
     next_id = 0;
     classifier = (fun _ -> "?");
-    events = [];
+    events = Iron_obs.Ring.create trace_cap;
     seq = 0;
     tracing = true;
+    obs;
   }
 
 let arm t r =
@@ -69,8 +73,9 @@ let fired t id =
   | None -> 0
 
 let set_classifier t f = t.classifier <- f
-let trace t = List.rev t.events
-let clear_trace t = t.events <- []
+let trace t = Iron_obs.Ring.to_list t.events
+let trace_dropped t = Iron_obs.Ring.dropped t.events
+let clear_trace t = Iron_obs.Ring.clear t.events
 let set_tracing t on = t.tracing <- on
 
 let matches_target target block =
@@ -125,8 +130,37 @@ let record t dir block outcome =
   if t.tracing then begin
     let seq = t.seq in
     t.seq <- seq + 1;
-    t.events <- { seq; dir; block; label = t.classifier block; outcome } :: t.events
+    Iron_obs.Ring.push t.events
+      { seq; dir; block; label = t.classifier block; outcome };
+    (* Double-emit into the observability layer, so the I/O trace shows
+       up alongside file-system spans in exported traces. *)
+    match t.obs with
+    | None -> ()
+    | Some obs ->
+        let d = match dir with Read -> "read" | Write -> "write" in
+        let name =
+          match outcome with
+          | Io_ok -> d ^ ".ok"
+          | Io_error e ->
+              d ^ "." ^ String.lowercase_ascii (Iron_disk.Dev.error_to_string e)
+          | Io_corrupted -> d ^ ".corrupt"
+        in
+        Iron_obs.Obs.event obs ~subsystem:"fault.io" ~blocks:(block, block) name
   end
+
+(* Count injections (as opposed to propagated device errors) under
+   fault.inject.*; fired when an armed rule actually bites. *)
+let record_injection t kind =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+      let name =
+        match kind with
+        | Fail_read -> "fail_read"
+        | Fail_write -> "fail_write"
+        | Corrupt _ -> "corrupt"
+      in
+      Iron_obs.Obs.incr obs ("fault.inject." ^ name)
 
 let corrupt_block corruption data =
   match corruption with
@@ -150,12 +184,14 @@ let corrupt_block corruption data =
 let read t block =
   match firing t Read block with
   | Some Fail_read ->
+      record_injection t Fail_read;
       record t Read block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
   | Some (Corrupt c) -> (
       match t.below.Iron_disk.Dev.read block with
       | Ok data ->
           corrupt_block c data;
+          record_injection t (Corrupt c);
           record t Read block Io_corrupted;
           Ok data
       | Error e ->
@@ -173,6 +209,7 @@ let read t block =
 let write t block data =
   match firing t Write block with
   | Some Fail_write ->
+      record_injection t Fail_write;
       record t Write block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
   | Some Fail_read | Some (Corrupt _) | None -> (

@@ -62,7 +62,20 @@ val rule : ?persistence:persistence -> target -> kind -> rule
 
 type t
 
-val create : Iron_disk.Dev.t -> t
+val create : ?obs:Iron_obs.Obs.t -> ?trace_cap:int -> Iron_disk.Dev.t -> t
+(** [create below] wraps a device. With [~obs], every trace event is
+    double-emitted into the observability layer's span buffer (under
+    subsystem [fault.io]) and injected faults bump the
+    [fault.inject.fail_read] / [fault.inject.fail_write] /
+    [fault.inject.corrupt] counters. [trace_cap] bounds the in-memory
+    I/O trace (default {!default_trace_cap}); once full, the oldest
+    events are dropped and counted by {!trace_dropped} — a long-running
+    job no longer grows its trace without bound. *)
+
+val default_trace_cap : int
+(** [65536] events — generous: a whole fingerprinting job issues a few
+    thousand I/Os. *)
+
 val dev : t -> Iron_disk.Dev.t
 
 type rule_id
@@ -93,7 +106,11 @@ val set_classifier : t -> (int -> string) -> unit
 (** Install the gray-box block-type oracle used to label trace events. *)
 
 val trace : t -> event list
-(** Events in issue order. *)
+(** Events in issue order — the newest [trace_cap] of them. *)
+
+val trace_dropped : t -> int
+(** Events evicted since the last {!clear_trace} because the bounded
+    trace filled; [0] means {!trace} is complete. *)
 
 val clear_trace : t -> unit
 val set_tracing : t -> bool -> unit

@@ -55,6 +55,7 @@ let parity_groups dev lay =
   groups
 
 let run_pass profile dev =
+  Iron_obs.Obs.span_a ~subsystem:"ixt3.scrub" "pass" @@ fun () ->
   let* lay =
     match dev.Dev.read 0 with
     | Error _ -> Error Errno.EIO
@@ -158,6 +159,7 @@ let run_pass profile dev =
     }
 
 let run ?(passes = 3) profile dev =
+  Iron_obs.Obs.span_a ~subsystem:"ixt3.scrub" "run" @@ fun () ->
   let ( let* ) = Result.bind in
   let rec go n acc =
     let* r = run_pass profile dev in

@@ -987,7 +987,7 @@ let recover_journal dev klog =
   Ok (txid + 1)
 
 let mount_impl dev =
-  let klog = Klog.create () in
+  let klog = Klog.create ~clock:dev.Dev.now () in
   (* Primary superblock; the alternate is used after a failed read but
      NOT after a corrupt one — the paper's inconsistency. *)
   let* num_blocks, _aggr =

@@ -562,7 +562,7 @@ let mkfs_impl dev =
   match dev.Dev.sync () with Ok () -> Ok () | Error _ -> Error Errno.EIO
 
 let mount_impl dev =
-  let klog = Klog.create () in
+  let klog = Klog.create ~clock:dev.Dev.now () in
   (* Boot file then the first MFT block: corrupt metadata means an
      unmountable volume (§5.4). Reads get the NTFS retry treatment. *)
   let retried b =

@@ -780,7 +780,7 @@ let recover_journal lay_dev klog =
   Ok last_seq
 
 let mount_impl dev =
-  let klog = Klog.create () in
+  let klog = Klog.create ~clock:dev.Dev.now () in
   let* jseq = recover_journal dev klog in
   let* super =
     match dev.Dev.read super_block with

@@ -79,7 +79,16 @@ let collect results =
              | Some (Error _) | None -> assert false)
            results)
 
-let map t f xs =
+(* Executor telemetry: [on_job] is called once per finished job with
+   wall-clock queue-wait and run durations (milliseconds). It runs in
+   the worker domain that executed the job, so it must be domain-safe;
+   exceptions it raises are swallowed — telemetry never fails a job. *)
+let notify on_job ~queue_ms ~run_ms =
+  match on_job with
+  | None -> ()
+  | Some f -> ( try f ~queue_ms ~run_ms with _ -> ())
+
+let map ?on_job t f xs =
   let input = Array.of_list xs in
   let n = Array.length input in
   if n = 0 then []
@@ -90,9 +99,15 @@ let map t f xs =
     Mutex.lock t.m;
     Array.iteri
       (fun i x ->
+        let enqueued = Unix.gettimeofday () in
         Queue.push
           (fun () ->
+            let started = Unix.gettimeofday () in
             let r = try Ok (f x) with e -> Error e in
+            let finished = Unix.gettimeofday () in
+            notify on_job
+              ~queue_ms:((started -. enqueued) *. 1000.)
+              ~run_ms:((finished -. started) *. 1000.);
             Mutex.lock t.m;
             results.(i) <- Some r;
             decr remaining;
@@ -108,17 +123,21 @@ let map t f xs =
     collect results
   end
 
-let map_jobs ~jobs f xs =
+let map_jobs ?on_job ~jobs f xs =
   let n = List.length xs in
   if jobs <= 1 || n <= 1 then begin
     (* The sequential baseline: same exactly-once + deferred-raise
        semantics, no domains. *)
     let results = Array.make n None in
     List.iteri
-      (fun i x -> results.(i) <- Some (try Ok (f x) with e -> Error e))
+      (fun i x ->
+        let started = Unix.gettimeofday () in
+        results.(i) <- Some (try Ok (f x) with e -> Error e);
+        let finished = Unix.gettimeofday () in
+        notify on_job ~queue_ms:0. ~run_ms:((finished -. started) *. 1000.))
       xs;
     collect results
   end
-  else with_pool (min jobs n) (fun t -> map t f xs)
+  else with_pool (min jobs n) (fun t -> map ?on_job t f xs)
 
 let default_jobs () = Domain.recommended_domain_count ()

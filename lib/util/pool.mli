@@ -29,18 +29,36 @@ val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool n f] runs [f] over a fresh pool and always shuts it
     down, even if [f] raises. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?on_job:(queue_ms:float -> run_ms:float -> unit) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** Parallel [List.map] with order preserved by index slotting. All
     jobs run to completion even if some raise; afterwards, if any job
     raised, the exception of the lowest-indexed failing job is
-    re-raised here. *)
+    re-raised here.
 
-val map_jobs : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    [on_job] is an executor-telemetry hook, called once per finished
+    job with the wall-clock queue wait and run time in milliseconds.
+    It runs in the worker domain that executed the job, so it must be
+    domain-safe; exceptions it raises are swallowed. Wall-clock times
+    are {e not} part of the determinism contract — keep them out of
+    byte-stable output. *)
+
+val map_jobs :
+  ?on_job:(queue_ms:float -> run_ms:float -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map_jobs ~jobs f xs]: [jobs <= 1] runs sequentially in the
     calling domain (no domains spawned — the deterministic baseline);
     otherwise a temporary pool of [jobs] workers is created, used and
     shut down. The result, including raising behaviour, is identical
-    in both modes. *)
+    in both modes. The sequential path reports [on_job] with
+    [queue_ms = 0.]. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], the default for [-j]. *)

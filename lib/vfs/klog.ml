@@ -1,15 +1,26 @@
 type level = Info | Warning | Error
-type entry = { level : level; subsystem : string; message : string }
-type t = { mutable entries : entry list (* newest first *) }
+
+type entry = {
+  time : float; (* simulated ms at emission *)
+  level : level;
+  subsystem : string;
+  message : string;
+}
+
+type t = {
+  clock : unit -> float;
+  mutable entries : entry list; (* newest first *)
+}
 
 exception Panic of string
 
-let create () = { entries = [] }
+let create ?(clock = fun () -> 0.0) () = { clock; entries = [] }
+
+let push t level subsystem message =
+  t.entries <- { time = t.clock (); level; subsystem; message } :: t.entries
 
 let log t level subsystem fmt =
-  Format.kasprintf
-    (fun message -> t.entries <- { level; subsystem; message } :: t.entries)
-    fmt
+  Format.kasprintf (fun message -> push t level subsystem message) fmt
 
 let info t sub fmt = log t Info sub fmt
 let warn t sub fmt = log t Warning sub fmt
@@ -18,7 +29,7 @@ let error t sub fmt = log t Error sub fmt
 let panic t subsystem fmt =
   Format.kasprintf
     (fun message ->
-      t.entries <- { level = Error; subsystem; message } :: t.entries;
+      push t Error subsystem message;
       raise (Panic (subsystem ^ ": " ^ message)))
     fmt
 
@@ -30,4 +41,4 @@ let pp_entry fmt e =
   let lvl =
     match e.level with Info -> "info" | Warning -> "warn" | Error -> "ERROR"
   in
-  Format.fprintf fmt "[%s] %s: %s" lvl e.subsystem e.message
+  Format.fprintf fmt "[%10.3f] [%s] %s: %s" e.time lvl e.subsystem e.message

@@ -5,17 +5,32 @@
     one of the three observable outputs (§4.3). [panic] models a kernel
     panic (ReiserFS's favourite recovery technique): it logs and raises
     {!Panic}, which the caller of the file-system operation — the
-    "machine" — catches. *)
+    "machine" — catches.
+
+    Entries are timestamped with {e simulated} time: [create] takes the
+    mounting device's clock (milliseconds), so the log lines up with
+    the I/O trace and span buffer of the observability layer. With no
+    clock, entries read [0.000] — fingerprinting campaigns run the
+    disk's service-time model off, and their logs are deliberately
+    time-free so output stays byte-stable. *)
 
 type level = Info | Warning | Error
 
-type entry = { level : level; subsystem : string; message : string }
+type entry = {
+  time : float;  (** simulated ms when the entry was logged *)
+  level : level;
+  subsystem : string;
+  message : string;
+}
 
 type t
 
 exception Panic of string
 
-val create : unit -> t
+val create : ?clock:(unit -> float) -> unit -> t
+(** [create ~clock ()] stamps each entry with [clock ()]; pass the
+    device's [Dev.now]. Default clock: constantly [0.0]. *)
+
 val log : t -> level -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val info : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val warn : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a

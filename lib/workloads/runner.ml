@@ -10,13 +10,26 @@ type stats = {
   syncs : int;
 }
 
-let run ?(num_blocks = 4096) ?(seed = 42) brand (app : Apps.t) =
+let run ?obs ?(num_blocks = 4096) ?(seed = 42) brand (app : Apps.t) =
+  (* With a context: instrument the device and keep it ambient for the
+     whole run, so journal/scrub spans from inside the file system are
+     captured with real simulated timestamps (the time model is on for
+     the measured phase). *)
+  let instrument f =
+    match obs with
+    | None -> f ()
+    | Some o -> Iron_obs.Obs.with_ambient o f
+  in
+  instrument @@ fun () ->
   let disk =
     Memdisk.create
       ~params:{ Memdisk.default_params with Memdisk.num_blocks; seed }
       ()
   in
   let dev = Memdisk.dev disk in
+  let dev =
+    match obs with None -> dev | Some o -> Iron_disk.Dev.observe o dev
+  in
   (* Setup is untimed: Table 6 measures the workloads, not mkfs. *)
   Memdisk.set_time_model disk false;
   let* () = Fs.mkfs brand dev in

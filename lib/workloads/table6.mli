@@ -12,10 +12,22 @@ type table = {
   rows : row list;
 }
 
-val compute : ?num_blocks:int -> ?seed:int -> ?jobs:int -> unit -> table
+val compute :
+  ?obs:Iron_obs.Obs.t ->
+  ?num_blocks:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  unit ->
+  table
 (** Runs 4 workloads x (1 baseline + 32 variants). Deterministic: the
     table is byte-identical for any [jobs] (default 1); the 32 variant
-    rows fan out over an {!Iron_util.Pool} of worker domains. *)
+    rows fan out over an {!Iron_util.Pool} of worker domains.
+
+    [~obs] is shared by every run (the context is domain-safe). The
+    metric {e sums} in its snapshot stay byte-identical for any [jobs]
+    — the same total work is metered — but with [jobs > 1] spans from
+    concurrent runs interleave in the shared ring, so exporters should
+    rely on the snapshot, not the span order. *)
 
 val pp : Format.formatter -> table -> unit
 (** Paper-style rendering: slowdowns over 10% marked with [*],
