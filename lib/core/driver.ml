@@ -4,13 +4,28 @@
      executor   prepare + run_job — one job, one private device stack
      aggregator aggregate — fold observations into matrices, spec order
 
-   The executor is embarrassingly parallel: every job restores its own
-   memdisk from a shared (immutable) snapshot, builds its own injector
-   and file-system instance, and returns a plain record. Worker count
-   therefore cannot change the output — the determinism contract the
-   tests pin down. *)
+   The executor is embarrassingly parallel: every job overlays its own
+   copy-on-write view of a shared (immutable) image, builds its own
+   injector and file-system instance, and returns a plain record.
+   Worker count therefore cannot change the output — the determinism
+   contract the tests pin down.
+
+   Hot-path discipline (this is the loop the whole reproduction's
+   throughput hangs on — ~2220 jobs per Figure-2 sweep):
+
+   - images are COW ({!Iron_disk.Cow}): restoring a job's disk drops
+     an overlay (O(dirty)) instead of blitting 8 MiB;
+   - dry traces are frozen into arrays with a precomputed
+     (direction, block type) -> target block index, so target lookup
+     is O(1) and jobs without a target are resolved at spec time and
+     never enter the worker pool;
+   - each worker domain keeps one scratch COW device and (in the
+     unobserved case) one injector, reused across jobs;
+   - reads below the block cache go through the zero-copy
+     [Dev.read_into] path. *)
 
 module Memdisk = Iron_disk.Memdisk
+module Cow = Iron_disk.Cow
 module Fault = Iron_fault.Fault
 module Fs = Iron_vfs.Fs
 module Errno = Iron_vfs.Errno
@@ -38,6 +53,7 @@ type matrix = {
 
 type stats = {
   jobs_total : int;
+  jobs_scheduled : int;
   jobs_applicable : int;
   jobs_fired : int;
   faults_fired : int;
@@ -189,19 +205,23 @@ let run_workload brand inj dev (w : Workload.t) ~arm =
 (* Inference                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Allocation-free substring scan; [needle] is expected lowercase. *)
+let contains_sub ~needle hay =
+  let nlen = String.length needle and hlen = String.length hay in
+  let limit = hlen - nlen in
+  let rec matches i j =
+    j = nlen || (hay.[i + j] = needle.[j] && matches i (j + 1))
+  in
+  let rec at i = i <= limit && (matches i 0 || at (i + 1)) in
+  nlen = 0 || at 0
+
+(* Each message is lowercased once (not once per word per entry, as an
+   earlier version did) and then scanned once per word. *)
 let klog_mentions klog words =
   List.exists
     (fun (e : Klog.entry) ->
-      List.exists
-        (fun word ->
-          let msg = String.lowercase_ascii e.Klog.message in
-          let len = String.length word in
-          let rec scan i =
-            i + len <= String.length msg
-            && (String.sub msg i len = word || scan (i + 1))
-          in
-          scan 0)
-        words)
+      let msg = String.lowercase_ascii e.Klog.message in
+      List.exists (fun word -> contains_sub ~needle:word msg) words)
     klog
 
 let infer fault (obs : observation) trace target =
@@ -291,32 +311,54 @@ let infer fault (obs : observation) trace target =
 (* Executor: prepared campaign context (shared, immutable after build) *)
 (* ------------------------------------------------------------------ *)
 
-(* Everything a job needs beyond its own spec. [base]/[crash] are disk
-   snapshots each job restores into its private memdisk; [dry] holds,
-   per workload column, the labelled fault-free I/O trace (target
-   selection) and a block→type table frozen as a plain [string array]
-   (so no job ever consults another job's live disk). None of it is
+(* Per workload column, the frozen outcome of one fault-free dry run:
+   the labelled I/O trace as a plain array, the block→type oracle as a
+   plain string array, and an index from (direction, block type) to
+   the first matching block — the job's fault target. None of it is
    mutated once [prepare] returns, which is what makes sharing it
    across worker domains safe. *)
-type prepared = {
-  base : Memdisk.snapshot;
-  crash : Memdisk.snapshot;
-  dry : (char * (Fault.event list * string array)) list;
+type dry = {
+  trace : Fault.event array;
+  labels : string array;
+  targets : (Fault.direction * string, int) Hashtbl.t;
 }
 
-let fresh_disk ~num_blocks ~seed =
-  let disk =
-    Memdisk.create
-      ~params:{ Memdisk.default_params with Memdisk.num_blocks; seed }
+(* [base]/[crash] are frozen COW images each job overlays with its
+   private scratch device; restoring one is O(blocks the previous job
+   dirtied), not O(volume size). *)
+type prepared = {
+  base : Cow.image;
+  crash : Cow.image;
+  dry : (char, dry) Hashtbl.t;
+}
+
+let fresh_cow ~num_blocks ~seed =
+  let cow =
+    Cow.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = num_blocks; seed }
       ()
   in
-  Memdisk.set_time_model disk false;
-  disk
+  Cow.set_time_model cow false;
+  cow
 
 let image_for prepared (w : Workload.t) =
   match w.Workload.kind with
   | Workload.Recovery_op -> prepared.crash
   | Workload.Ops | Workload.Mount_op | Workload.Umount_op -> prepared.base
+
+let want_dir = function
+  | Taxonomy.Read_failure | Taxonomy.Corruption -> Fault.Read
+  | Taxonomy.Write_failure -> Fault.Write
+
+(* O(1) target lookup: the block the job's fault will be armed on, or
+   [None] when the dry run never touched a block of that type in that
+   direction — decided at spec time, before anything is scheduled. *)
+let target_for prepared (job : Experiment.job) =
+  match Hashtbl.find_opt prepared.dry job.Experiment.workload with
+  | None -> None
+  | Some d ->
+      Hashtbl.find_opt d.targets
+        (want_dir job.Experiment.fault, job.Experiment.block_type)
 
 (* Sequential phase: build the base and crash images, then dry-run each
    workload once to learn its labelled I/O trace. This is ~1 run per
@@ -325,7 +367,7 @@ let image_for prepared (w : Workload.t) =
 let prepare ?obs (c : Experiment.t) =
   (* With a context, the whole phase runs with it ambient (so journal
      spans from deep inside the file systems land here) and the device
-     stack is instrumented: memdisk -> injector(obs) -> Dev.observe. *)
+     stack is instrumented: cow -> injector(obs) -> Dev.observe. *)
   let instrument f =
     match obs with
     | None -> f ()
@@ -337,8 +379,8 @@ let prepare ?obs (c : Experiment.t) =
   let (Fs.Brand (module F)) = c.Experiment.brand in
   let brand = c.Experiment.brand in
   let num_blocks = c.Experiment.num_blocks in
-  let disk = fresh_disk ~num_blocks ~seed:c.Experiment.seed in
-  let inj = Fault.create ?obs (Memdisk.dev disk) in
+  let cow = fresh_cow ~num_blocks ~seed:c.Experiment.seed in
+  let inj = Fault.create ?obs (Cow.dev cow) in
   let dev = Fault.dev inj in
   let dev =
     match obs with None -> dev | Some o -> Iron_disk.Dev.observe o dev
@@ -356,7 +398,7 @@ let prepare ?obs (c : Experiment.t) =
       match M.unmount t with
       | Ok () -> ()
       | Error e -> failwith ("fingerprint: unmount failed: " ^ Errno.to_string e)));
-  let base = Memdisk.snapshot disk in
+  let base = Cow.snapshot cow in
   (* Crash image for the recovery column. *)
   (match Fs.mount brand dev with
   | Error e -> failwith ("fingerprint: remount failed: " ^ Errno.to_string e)
@@ -364,58 +406,121 @@ let prepare ?obs (c : Experiment.t) =
       match Workload.crash_prep boxed with
       | Ok () -> () (* instance abandoned: this is the crash *)
       | Error e -> failwith ("fingerprint: crash prep failed: " ^ Errno.to_string e)));
-  let crash = Memdisk.snapshot disk in
-  let prepared0 = { base; crash; dry = [] } in
-  (* Dry runs: learn, per workload, the labelled I/O trace. *)
-  let dry =
-    List.map
-      (fun col ->
-        let w = Workload.find col in
-        Memdisk.restore disk (image_for prepared0 w);
-        Fault.disarm_all inj;
-        Fault.clear_trace inj;
-        let pre = F.classifier (Memdisk.peek disk) in
-        let _obs = run_workload brand inj dev w ~arm:(fun () -> ()) in
-        let post = F.classifier (Memdisk.peek disk) in
-        (* Freeze the combined oracle into a pure table. *)
-        let labels =
-          Array.init num_blocks (fun b ->
-              let l = post b in
-              if l = "?" then pre b else l)
-        in
-        let trace =
-          List.map
-            (fun (e : Fault.event) ->
-              { e with Fault.label = labels.(e.Fault.block) })
-            (Fault.trace inj)
-        in
-        (col, (trace, labels)))
-      c.Experiment.cols
+  let crash = Cow.snapshot cow in
+  let image_for_kind (w : Workload.t) =
+    match w.Workload.kind with
+    | Workload.Recovery_op -> crash
+    | Workload.Ops | Workload.Mount_op | Workload.Umount_op -> base
   in
-  { prepared0 with dry }
+  (* Dry runs: learn, per workload, the labelled I/O trace; freeze it
+     and index the fault targets. *)
+  let dry = Hashtbl.create 32 in
+  List.iter
+    (fun col ->
+      let w = Workload.find col in
+      Cow.restore cow (image_for_kind w);
+      Fault.disarm_all inj;
+      Fault.clear_trace inj;
+      let pre = F.classifier (Cow.peek cow) in
+      let _obs = run_workload brand inj dev w ~arm:(fun () -> ()) in
+      let post = F.classifier (Cow.peek cow) in
+      (* Freeze the combined oracle into a pure table. *)
+      let labels =
+        Array.init num_blocks (fun b ->
+            let l = post b in
+            if l = "?" then pre b else l)
+      in
+      let trace =
+        Array.of_list
+          (List.map
+             (fun (e : Fault.event) ->
+               { e with Fault.label = labels.(e.Fault.block) })
+             (Fault.trace inj))
+      in
+      let targets = Hashtbl.create 64 in
+      Array.iter
+        (fun (e : Fault.event) ->
+          let key = (e.Fault.dir, e.Fault.label) in
+          if not (Hashtbl.mem targets key) then
+            Hashtbl.add targets key e.Fault.block)
+        trace;
+      Hashtbl.replace dry col { trace; labels; targets })
+    c.Experiment.cols;
+  { base; crash; dry }
 
-(* Each worker domain keeps one scratch memdisk and reuses it across
-   jobs ([Memdisk.restore] overwrites every block, so a job sees only
-   the image it restored). Without this, every job's 8 MB of fresh
-   block buffers hammers the shared major heap and the parallel run is
-   slower than the serial one. Keyed by geometry so campaigns with
-   different [num_blocks] do not mix. *)
-let scratch_disk : (int * Memdisk.t) option ref Domain.DLS.key =
+(* Each worker domain keeps one scratch COW device and one injector,
+   reused across jobs ([Cow.restore] gives a job exactly the image it
+   asked for, in O(dirty)). Without the reuse, every job's device
+   stack hammers the shared major heap and the parallel run is slower
+   than the serial one. Keyed by geometry so campaigns with different
+   [num_blocks] do not mix. *)
+type scratch = { s_cow : Cow.t; s_inj : Fault.t; s_dev : Iron_disk.Dev.t }
+
+let scratch_slot : (int * scratch) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
 let scratch ~num_blocks ~seed =
-  let slot = Domain.DLS.get scratch_disk in
+  let slot = Domain.DLS.get scratch_slot in
   match !slot with
-  | Some (nb, disk) when nb = num_blocks -> disk
+  | Some (nb, s) when nb = num_blocks -> s
   | Some _ | None ->
-      let disk = fresh_disk ~num_blocks ~seed in
-      slot := Some (num_blocks, disk);
-      disk
+      let cow = fresh_cow ~num_blocks ~seed in
+      let inj = Fault.create (Cow.dev cow) in
+      let s = { s_cow = cow; s_inj = inj; s_dev = Fault.dev inj } in
+      slot := Some (num_blocks, s);
+      s
 
-(* One job, one private device stack: restore the image into this
-   domain's scratch memdisk, arm exactly one fault, run, infer.
+(* One job, one private device stack: overlay this domain's scratch
+   COW device on the job's image, arm exactly one fault, run, infer.
    Self-contained and re-entrant — this is the unit the domain pool
-   schedules. *)
+   schedules. [target] comes from the spec-time index. *)
+let run_armed ?obs prepared (c : Experiment.t) (job : Experiment.job) ~target =
+  let (Fs.Brand (module F)) = c.Experiment.brand in
+  let w = Workload.find job.Experiment.workload in
+  let labels = (Hashtbl.find prepared.dry job.Experiment.workload).labels in
+  let s = scratch ~num_blocks:c.Experiment.num_blocks ~seed:job.Experiment.seed in
+  let cow = s.s_cow in
+  (* Unobserved jobs reuse the scratch injector; an observed job needs
+     a private one with its context baked in (exactly what the
+     pre-reuse executor built per job). *)
+  let inj, dev =
+    match obs with
+    | None ->
+        Fault.disarm_all s.s_inj;
+        Fault.clear_trace s.s_inj;
+        (s.s_inj, s.s_dev)
+    | Some o ->
+        let inj = Fault.create ~obs:o (Cow.dev cow) in
+        (inj, Iron_disk.Dev.observe o (Fault.dev inj))
+  in
+  Cow.restore cow (image_for prepared w);
+  Fault.set_classifier inj (fun b ->
+      if b >= 0 && b < Array.length labels then labels.(b) else "?");
+  let kind =
+    match job.Experiment.fault with
+    | Taxonomy.Read_failure -> Fault.Fail_read
+    | Taxonomy.Write_failure -> Fault.Fail_write
+    | Taxonomy.Corruption ->
+        Fault.Corrupt
+          (match F.corrupt_field job.Experiment.block_type with
+          | Some tweak -> Fault.Tweak tweak
+          | None -> Fault.Noise (job.Experiment.seed lxor target lxor 0xBAD))
+  in
+  let arm () =
+    ignore
+      (Fault.arm inj
+         (Fault.rule ~persistence:c.Experiment.persistence (Fault.Block target)
+            kind))
+  in
+  let brand = c.Experiment.brand in
+  let obs_run = run_workload brand inj dev w ~arm in
+  let ftrace = Fault.trace inj in
+  infer job.Experiment.fault obs_run ftrace target
+
+(* The public per-job entry: resolve the target through the index and
+   run, under a per-job span when observed. Kept for no-target jobs so
+   an observed campaign emits exactly one [driver.job] span per spec
+   job whether or not the job was worth scheduling. *)
 let run_job ?obs prepared (c : Experiment.t) (job : Experiment.job) =
   let instrument f =
     match obs with
@@ -425,56 +530,9 @@ let run_job ?obs prepared (c : Experiment.t) (job : Experiment.job) =
             Obs.span o ~subsystem:"driver" "job" f)
   in
   instrument @@ fun () ->
-  let (Fs.Brand (module F)) = c.Experiment.brand in
-  let w = Workload.find job.Experiment.workload in
-  let trace, labels = List.assoc job.Experiment.workload prepared.dry in
-  let want_dir =
-    match job.Experiment.fault with
-    | Taxonomy.Read_failure | Taxonomy.Corruption -> Fault.Read
-    | Taxonomy.Write_failure -> Fault.Write
-  in
-  let target =
-    List.find_opt
-      (fun (e : Fault.event) ->
-        e.Fault.dir = want_dir && e.Fault.label = job.Experiment.block_type)
-      trace
-  in
-  match target with
+  match target_for prepared job with
   | None -> empty_cell
-  | Some e ->
-      let target = e.Fault.block in
-      let disk =
-        scratch ~num_blocks:c.Experiment.num_blocks ~seed:job.Experiment.seed
-      in
-      let inj = Fault.create ?obs (Memdisk.dev disk) in
-      let dev = Fault.dev inj in
-      let dev =
-        match obs with None -> dev | Some o -> Iron_disk.Dev.observe o dev
-      in
-      Memdisk.restore disk (image_for prepared w);
-      Fault.set_classifier inj (fun b ->
-          if b >= 0 && b < Array.length labels then labels.(b) else "?");
-      let kind =
-        match job.Experiment.fault with
-        | Taxonomy.Read_failure -> Fault.Fail_read
-        | Taxonomy.Write_failure -> Fault.Fail_write
-        | Taxonomy.Corruption ->
-            Fault.Corrupt
-              (match F.corrupt_field job.Experiment.block_type with
-              | Some tweak -> Fault.Tweak tweak
-              | None ->
-                  Fault.Noise (job.Experiment.seed lxor target lxor 0xBAD))
-      in
-      let arm () =
-        ignore
-          (Fault.arm inj
-             (Fault.rule ~persistence:c.Experiment.persistence
-                (Fault.Block target) kind))
-      in
-      let brand = c.Experiment.brand in
-      let obs = run_workload brand inj dev w ~arm in
-      let ftrace = Fault.trace inj in
-      infer job.Experiment.fault obs ftrace target
+  | Some target -> run_armed ?obs prepared c job ~target
 
 (* ------------------------------------------------------------------ *)
 (* Aggregator                                                          *)
@@ -484,7 +542,7 @@ let run_job ?obs prepared (c : Experiment.t) (job : Experiment.job) =
    index) into the Figure-2/3 matrices. Worker count and completion
    order cannot appear anywhere in the output; only [stats] mentions
    the execution (and the renderers never print it). *)
-let aggregate (c : Experiment.t) ~workers ~wall_s cells =
+let aggregate (c : Experiment.t) ~workers ~scheduled ~wall_s cells =
   let (Fs.Brand (module F)) = c.Experiment.brand in
   let results = Hashtbl.create 256 in
   List.iter2
@@ -520,6 +578,7 @@ let aggregate (c : Experiment.t) ~workers ~wall_s cells =
         })
       {
         jobs_total = Experiment.total c;
+        jobs_scheduled = scheduled;
         jobs_applicable = 0;
         jobs_fired = 0;
         faults_fired = 0;
@@ -540,22 +599,57 @@ let aggregate (c : Experiment.t) ~workers ~wall_s cells =
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Spec-time pruning: resolve every job's target through the index and
+   only send the armed ones to the pool. [stitch] re-slots pool
+   results against the full spec, substituting [skip] for the pruned
+   jobs — output order stays spec order by construction. *)
+let partition_targets prepared (c : Experiment.t) =
+  let tagged =
+    List.map (fun job -> (job, target_for prepared job)) c.Experiment.jobs
+  in
+  let armed =
+    List.filter_map
+      (fun (job, t) -> Option.map (fun target -> (job, target)) t)
+      tagged
+  in
+  (tagged, armed)
+
+let stitch tagged ran ~skip =
+  let rec go tagged ran =
+    match tagged with
+    | [] ->
+        assert (ran = []);
+        []
+    | (job, None) :: rest -> skip job :: go rest ran
+    | (_, Some _) :: rest -> (
+        match ran with
+        | cell :: more -> cell :: go rest more
+        | [] -> assert false)
+  in
+  go tagged ran
+
 let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
   let t0 = Unix.gettimeofday () in
   if not observe then begin
     let prepared = prepare c in
-    let cells =
-      Iron_util.Pool.map_jobs ~jobs (run_job prepared c) c.Experiment.jobs
+    let tagged, armed = partition_targets prepared c in
+    let ran =
+      Iron_util.Pool.map_jobs ~jobs
+        (fun (job, target) -> run_armed prepared c job ~target)
+        armed
     in
+    let cells = stitch tagged ran ~skip:(fun _ -> empty_cell) in
     let wall_s = Unix.gettimeofday () -. t0 in
-    aggregate c ~workers:(max 1 jobs) ~wall_s cells
+    aggregate c ~workers:(max 1 jobs) ~scheduled:(List.length armed) ~wall_s
+      cells
   end
   else begin
     (* Observed campaign. Each job gets a private context created and
        snapshotted inside the job function, so metrics and spans are a
        pure function of the job spec; the aggregator merges them in
-       spec order (the pool slots results by index), which keeps the
-       exported observables independent of [-j]. Executor telemetry
+       spec order (the pool slots results by index, and pruned jobs
+       are re-slotted by [stitch]), which keeps the exported
+       observables independent of [-j]. Executor telemetry
        (wall-clock pool waits) goes to a separate shared context that
        is deliberately kept out of the deterministic snapshot. *)
     let prep_obs = Obs.create () in
@@ -568,6 +662,10 @@ let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
       Obs.observe exec_obs "pool.job.queue_ms" queue_ms;
       Obs.observe exec_obs "pool.job.run_ms" run_ms
     in
+    (* Pruned jobs still get their per-job context and [driver.job]
+       span (run_job resolves to the same no-target path), so the
+       deterministic exports are byte-identical to an unpruned run;
+       they just never occupy a pool slot. *)
     let observed_job job =
       let obs = Obs.create () in
       let cell = run_job ~obs prepared c job in
@@ -576,9 +674,13 @@ let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
       Obs.release obs;
       (cell, snap, spans)
     in
-    let results =
-      Iron_util.Pool.map_jobs ~on_job ~jobs observed_job c.Experiment.jobs
+    let tagged, armed = partition_targets prepared c in
+    let ran =
+      Iron_util.Pool.map_jobs ~on_job ~jobs
+        (fun (job, _target) -> observed_job job)
+        armed
     in
+    let results = stitch tagged ran ~skip:observed_job in
     let wall_s = Unix.gettimeofday () -. t0 in
     let cells = List.map (fun (cell, _, _) -> cell) results in
     let metrics =
@@ -591,7 +693,10 @@ let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
              (fun i (_, _, spans) -> Obs.with_tid (i + 1) spans)
              results)
     in
-    let report = aggregate c ~workers:(max 1 jobs) ~wall_s cells in
+    let report =
+      aggregate c ~workers:(max 1 jobs) ~scheduled:(List.length armed) ~wall_s
+        cells
+    in
     {
       report with
       observed = Some { metrics; spans; exec = Obs.snapshot exec_obs };
@@ -606,8 +711,9 @@ let fingerprint ?faults ?workloads ?block_types ?num_blocks ?persistence ?seed
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "campaign: %d jobs (%d applicable, %d fired), %d faults injected, %d worker%s, %.2fs"
-    s.jobs_total s.jobs_applicable s.jobs_fired s.faults_fired s.workers
+    "campaign: %d jobs (%d scheduled, %d applicable, %d fired), %d faults injected, %d worker%s, %.2fs"
+    s.jobs_total s.jobs_scheduled s.jobs_applicable s.jobs_fired s.faults_fired
+    s.workers
     (if s.workers = 1 then "" else "s")
     s.wall_s
 

@@ -5,10 +5,13 @@
       list of self-contained jobs (fault kind × workload × block type,
       each with a derived seed);
     + {b executor} — each job runs against a {e private} device stack
-      (its own memdisk restored from a shared immutable snapshot, its
-      own injector, its own file-system instance) and yields one
-      {!cell}; jobs are scheduled on a fixed-size {!Iron_util.Pool}
-      of OCaml 5 domains;
+      (its own copy-on-write {!Iron_disk.Cow} overlay over a shared
+      frozen image — restore is O(dirty blocks), not O(disk) — its own
+      injector, its own file-system instance) and yields one {!cell};
+      jobs with a resolved target are scheduled on a fixed-size
+      {!Iron_util.Pool} of OCaml 5 domains, and jobs whose dry trace
+      shows no candidate block are resolved at spec time without
+      touching the pool;
     + {b aggregator} — observations are folded back into the
       Figure-2/3 matrices and counters in spec order.
 
@@ -19,12 +22,15 @@
     and the renderers never print it.
 
     Before a job runs, the engine dry-runs each workload fault-free to
-    learn its type-labelled I/O trace (the per-block type oracle is
-    frozen into a plain array at that point), then, per (block type,
-    workload, fault kind) with a candidate target, restores the image,
-    arms one fault just below the file system and re-runs; detection
-    and recovery are inferred from the three observables of §4.3 —
-    API results, the kernel log, and the low-level I/O trace. *)
+    learn its type-labelled I/O trace. The trace is frozen into a
+    plain array and indexed by [(direction, block type)] so target
+    resolution per job is a hash lookup, not a list scan; the per-block
+    type oracle is frozen into a label array at the same point. Then,
+    per (block type, workload, fault kind) with a candidate target,
+    the executor restores the image, arms one fault just below the
+    file system and re-runs; detection and recovery are inferred from
+    the three observables of §4.3 — API results, the kernel log, and
+    the low-level I/O trace. *)
 
 type cell = {
   applicable : bool;  (** a target block of this type was accessed *)
@@ -46,6 +52,9 @@ type matrix = {
 
 type stats = {
   jobs_total : int;  (** enumerated (type, workload, fault) jobs *)
+  jobs_scheduled : int;
+      (** jobs with a resolved target that entered the pool — the rest
+          were pruned at spec time from the indexed dry traces *)
   jobs_applicable : int;  (** jobs with a candidate target block *)
   jobs_fired : int;  (** jobs whose armed fault actually triggered *)
   faults_fired : int;  (** total trigger count across all jobs *)

@@ -18,12 +18,27 @@ let evict_if_full t =
     Hashtbl.remove t.table victim
   done
 
-let insert t b data =
+(* [insert] copies the caller's buffer; [insert_own] adopts it (the
+   zero-copy fill path — the caller must not reuse the buffer). *)
+let insert_own t b data =
   if not (Hashtbl.mem t.table b) then begin
     evict_if_full t;
     Queue.push b t.order
   end;
-  Hashtbl.replace t.table b (Bytes.copy data)
+  Hashtbl.replace t.table b data
+
+let insert t b data = insert_own t b (Bytes.copy data)
+
+(* Miss path: fill a fresh cache-owned buffer via the device's
+   zero-copy read and adopt it — one allocation instead of the two the
+   read-then-copy discipline used to cost. *)
+let fill t b =
+  let buf = Bytes.create t.device.Dev.block_size in
+  match t.device.Dev.read_into b buf with
+  | Ok () ->
+      insert_own t b buf;
+      Ok buf
+  | Error _ as e -> e
 
 let read t b =
   match Hashtbl.find_opt t.table b with
@@ -32,10 +47,22 @@ let read t b =
       Ok (Bytes.copy data)
   | None -> (
       t.misses <- t.misses + 1;
-      match t.device.Dev.read b with
-      | Ok data ->
-          insert t b data;
-          Ok data
+      match fill t b with
+      | Ok cached -> Ok (Bytes.copy cached)
+      | Error _ as e -> e)
+
+let read_into t b buf =
+  match Hashtbl.find_opt t.table b with
+  | Some data ->
+      t.hits <- t.hits + 1;
+      Bytes.blit data 0 buf 0 (min (Bytes.length data) (Bytes.length buf));
+      Ok ()
+  | None -> (
+      t.misses <- t.misses + 1;
+      match fill t b with
+      | Ok cached ->
+          Bytes.blit cached 0 buf 0 (min (Bytes.length cached) (Bytes.length buf));
+          Ok ()
       | Error _ as e -> e)
 
 let write t b data =

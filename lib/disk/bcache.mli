@@ -20,6 +20,12 @@ val dev : t -> Dev.t
 val read : t -> int -> (bytes, Dev.error) result
 (** Returns a copy; mutating it does not affect the cache. *)
 
+val read_into : t -> int -> bytes -> (unit, Dev.error) result
+(** Zero-copy read: fill the caller's buffer from the cache (no
+    allocation on a hit) or, on a miss, from the device via its own
+    zero-copy path (one cache-buffer allocation). Mutating [buf]
+    afterwards does not affect the cache. *)
+
 val write : t -> int -> bytes -> (unit, Dev.error) result
 val sync : t -> (unit, Dev.error) result
 val invalidate : t -> int -> unit

@@ -1,0 +1,200 @@
+(* Copy-on-write overlay device.
+
+   A [Cow.t] presents the same block-device behaviour as a flat
+   [Memdisk] (same service-time model, same statistics, same error
+   cases — the differential tests pin this), but its store is split in
+   two: an immutable, structurally shared {e base image} plus a dense
+   overlay of privately owned dirty blocks. The three operations the
+   fingerprinting executor hammers become cheap:
+
+   - [snapshot]: freeze — the overlay's buffers are adopted into a new
+     image that shares every clean block with the old base. O(dirty)
+     byte work, no block is ever copied;
+   - [restore]: drop the overlay (recycling its buffers) and point at
+     the given image. O(dirty);
+   - [read_into]: blit straight from the overlay or the base into the
+     caller's buffer. Zero allocations.
+
+   Frozen images are never written in place — a write after [snapshot]
+   allocates (or recycles) an overlay buffer — so any number of
+   devices may share one image across domains. *)
+
+type image = { i_block_size : int; i_blocks : bytes array }
+
+(* The shared all-zeroes block. A blank image aliases it in every
+   slot; that is safe because images are frozen. One buffer per block
+   size is enough, and in practice there is one block size. *)
+let zero_blocks : (int, bytes) Hashtbl.t = Hashtbl.create 4
+let zero_mutex = Mutex.create ()
+
+let zero_block bs =
+  Mutex.lock zero_mutex;
+  let b =
+    match Hashtbl.find_opt zero_blocks bs with
+    | Some b -> b
+    | None ->
+        let b = Bytes.make bs '\000' in
+        Hashtbl.add zero_blocks bs b;
+        b
+  in
+  Mutex.unlock zero_mutex;
+  b
+
+let blank_image ~block_size ~num_blocks =
+  { i_block_size = block_size; i_blocks = Array.make num_blocks (zero_block block_size) }
+
+let make_image ~block_size blocks = { i_block_size = block_size; i_blocks = blocks }
+let image_block_size img = img.i_block_size
+let image_num_blocks img = Array.length img.i_blocks
+let image_block img b = img.i_blocks.(b)
+
+(* Overlay slots hold [nil] when clean; physical equality is the
+   emptiness test, so reads never allocate an option. *)
+let nil = Bytes.create 0
+
+type t = {
+  model : Model.t;
+  mutable base : image;
+  overlay : bytes array; (* slot per block; == nil when clean *)
+  mutable dirty : int array; (* the dirty block numbers, unordered *)
+  mutable ndirty : int;
+  mutable free : bytes list; (* recycled overlay buffers *)
+}
+
+let create ?(params = Model.default_params) () =
+  {
+    model = Model.create params;
+    base = blank_image ~block_size:params.Model.block_size
+        ~num_blocks:params.Model.num_blocks;
+    overlay = Array.make params.Model.num_blocks nil;
+    dirty = Array.make 64 0;
+    ndirty = 0;
+    free = [];
+  }
+
+let block_size t = t.base.i_block_size
+let num_blocks t = Array.length t.overlay
+let dirty_count t = t.ndirty
+let base t = t.base
+
+let note_dirty t b =
+  if t.ndirty = Array.length t.dirty then begin
+    let bigger = Array.make (2 * t.ndirty) 0 in
+    Array.blit t.dirty 0 bigger 0 t.ndirty;
+    t.dirty <- bigger
+  end;
+  t.dirty.(t.ndirty) <- b;
+  t.ndirty <- t.ndirty + 1
+
+(* The current bytes of block [b]: the private overlay copy if there
+   is one, else the (frozen — do not mutate!) base block. *)
+let current t b =
+  let o = t.overlay.(b) in
+  if o != nil then o else t.base.i_blocks.(b)
+
+(* A writable overlay slot for block [b], recycling restored buffers. *)
+let own_slot t b =
+  let o = t.overlay.(b) in
+  if o != nil then o
+  else begin
+    let buf =
+      match t.free with
+      | buf :: rest ->
+          t.free <- rest;
+          buf
+      | [] -> Bytes.create (block_size t)
+    in
+    t.overlay.(b) <- buf;
+    note_dirty t b;
+    buf
+  end
+
+let in_range t b = b >= 0 && b < num_blocks t
+
+let read t b =
+  if not (in_range t b) then Error Dev.Enxio
+  else begin
+    Model.charge_read t.model b;
+    Ok (Bytes.copy (current t b))
+  end
+
+let read_into t b buf =
+  if not (in_range t b) then Error Dev.Enxio
+  else if Bytes.length buf <> block_size t then Error Dev.Eio
+  else begin
+    Model.charge_read t.model b;
+    Bytes.blit (current t b) 0 buf 0 (block_size t);
+    Ok ()
+  end
+
+let write t b data =
+  if not (in_range t b) then Error Dev.Enxio
+  else if Bytes.length data <> block_size t then Error Dev.Eio
+  else begin
+    Model.charge_write t.model b;
+    Bytes.blit data 0 (own_slot t b) 0 (block_size t);
+    Ok ()
+  end
+
+let sync t =
+  Model.charge_sync t.model;
+  Ok ()
+
+let dev t =
+  {
+    Dev.block_size = block_size t;
+    num_blocks = num_blocks t;
+    read = read t;
+    read_into = read_into t;
+    write = write t;
+    sync = (fun () -> sync t);
+    now = (fun () -> Model.now t.model);
+  }
+
+let stats t = Model.stats t.model
+let reset_stats t = Model.reset_stats t.model
+let set_time_model t on = Model.set_timed t.model on
+
+(* Raw access, bypassing the timing model and statistics (setup,
+   verification, classifiers). *)
+let peek t b = Bytes.copy (current t b)
+
+let poke t b data =
+  let slot = own_slot t b in
+  Bytes.blit data 0 slot 0 (min (Bytes.length data) (block_size t))
+
+(* Freeze the current state into an image. Clean blocks share the old
+   base's buffers; dirty overlay buffers are adopted wholesale (they
+   become frozen, so they are *not* recycled). The device itself moves
+   onto the new image with an empty overlay, which is what makes the
+   snapshot immutable from here on. With no dirty blocks this is O(1):
+   the base is returned as-is. *)
+let snapshot t =
+  if t.ndirty = 0 then t.base
+  else begin
+    let blocks = Array.copy t.base.i_blocks in
+    for i = 0 to t.ndirty - 1 do
+      let b = t.dirty.(i) in
+      blocks.(b) <- t.overlay.(b);
+      t.overlay.(b) <- nil
+    done;
+    t.ndirty <- 0;
+    let img = { i_block_size = t.base.i_block_size; i_blocks = blocks } in
+    t.base <- img;
+    img
+  end
+
+(* Point the device at [img]: drop the overlay (recycling its buffers
+   for the next run's writes) and reset the model, so every run starts
+   from identical conditions. O(dirty). *)
+let restore t img =
+  if image_num_blocks img <> num_blocks t || img.i_block_size <> block_size t
+  then invalid_arg "Cow.restore: image geometry mismatch";
+  for i = 0 to t.ndirty - 1 do
+    let b = t.dirty.(i) in
+    t.free <- t.overlay.(b) :: t.free;
+    t.overlay.(b) <- nil
+  done;
+  t.ndirty <- 0;
+  t.base <- img;
+  Model.reset t.model

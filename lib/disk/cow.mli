@@ -1,0 +1,91 @@
+(** Copy-on-write overlay device.
+
+    Behaves exactly like a flat {!Memdisk} through the device
+    interface — same {!Model} service-time charges, statistics and
+    error cases (the differential test suite pins the equivalence) —
+    but stores its state as an immutable, structurally shared {e base
+    image} plus a dense overlay of privately owned dirty blocks.
+
+    This is the fingerprinting executor's image discipline: thousands
+    of jobs restore the same 8 MiB base image, run a workload that
+    dirties a few dozen blocks, and restore again. On the flat store
+    each cycle pays an O(touched) blit; here
+
+    - {!snapshot} is a freeze: O(dirty) pointer moves, no byte copied;
+    - {!restore} drops the overlay: O(dirty), buffers recycled;
+    - [read_into] (via {!dev}) blits into the caller's buffer: zero
+      allocations on the hot read path.
+
+    Frozen images are never written in place, so one image may be
+    shared by any number of devices across any number of domains. *)
+
+(** {1 Images} *)
+
+type image
+(** An immutable disk image. Structurally shared: distinct images
+    typically share most of their blocks. *)
+
+val blank_image : block_size:int -> num_blocks:int -> image
+(** The all-zeroes image; O(1) bytes (every slot aliases one shared
+    zero block). *)
+
+val make_image : block_size:int -> bytes array -> image
+(** Adopt [blocks] as a frozen image. Ownership transfers: the caller
+    must never mutate the array or its buffers again. *)
+
+val image_block_size : image -> int
+val image_num_blocks : image -> int
+
+val image_block : image -> int -> bytes
+(** The frozen buffer for one block — {b do not mutate}. For bulk
+    consumers (e.g. {!Memdisk.restore}); ordinary reads go through a
+    device. *)
+
+(** {1 The device} *)
+
+type t
+
+val create : ?params:Model.params -> unit -> t
+(** A fresh device over the blank image. Defaults:
+    {!Model.default_params}. *)
+
+val dev : t -> Dev.t
+
+val base : t -> image
+(** The image the device is currently overlaying. *)
+
+val dirty_count : t -> int
+(** Blocks written since the last {!restore}/{!snapshot}. *)
+
+val block_size : t -> int
+val num_blocks : t -> int
+
+(** {1 Statistics and timing} (see {!Model}) *)
+
+val stats : t -> Model.stats
+val reset_stats : t -> unit
+
+val set_time_model : t -> bool -> unit
+(** Disable ([false]) or enable the service-time model. Fingerprinting
+    campaigns disable it (they care about behaviour, not time).
+    Default: enabled. *)
+
+(** {1 Raw access for setup, verification and snapshots}
+
+    These bypass the timing model and statistics. *)
+
+val peek : t -> int -> bytes
+val poke : t -> int -> bytes -> unit
+
+val snapshot : t -> image
+(** Freeze the current state. O(dirty): clean blocks share the old
+    base's buffers, dirty overlay buffers are adopted into the new
+    image (O(1) when nothing is dirty). The device continues over the
+    new image with an empty overlay, so the snapshot is immutable. *)
+
+val restore : t -> image -> unit
+(** Point the device at [img], dropping the overlay (O(dirty), buffers
+    recycled) and resetting statistics, clock, head position and the
+    dirty flag — identical initial conditions for every run.
+    @raise Invalid_argument if [img]'s geometry differs from the
+    device's. *)

@@ -7,10 +7,22 @@ type t = {
   block_size : int;
   num_blocks : int;
   read : int -> (bytes, error) result;
+  read_into : int -> bytes -> (unit, error) result;
   write : int -> bytes -> (unit, error) result;
   sync : unit -> (unit, error) result;
   now : unit -> float;
 }
+
+(* Default shim for wrappers without a native zero-copy path: one
+   [read] (which allocates) plus one blit. Semantically equivalent to a
+   native [read_into]; only the allocation profile differs. *)
+let read_into_via_read read b buf =
+  match read b with
+  | Ok data ->
+      let n = min (Bytes.length data) (Bytes.length buf) in
+      Bytes.blit data 0 buf 0 n;
+      Ok ()
+  | Error _ as e -> e
 
 let in_range t b = b >= 0 && b < t.num_blocks
 
@@ -27,7 +39,10 @@ let write_exn t b data =
 (* Observation layer: stacks like the fault injector, forwarding every
    request below while feeding the metrics registry. Durations come
    from the wrapped device's own (simulated) clock, so the numbers are
-   deterministic wherever the device is. *)
+   deterministic wherever the device is. [read_into] is the same
+   request as [read] with the caller supplying the buffer, so it is
+   counted under the same [disk.read] path — switching a call site to
+   the zero-copy read changes nothing in the exported metrics. *)
 let observe obs t =
   Iron_obs.Obs.set_clock obs t.now;
   let timed path f =
@@ -43,6 +58,7 @@ let observe obs t =
   {
     t with
     read = (fun b -> timed "disk.read" (fun () -> t.read b));
+    read_into = (fun b buf -> timed "disk.read" (fun () -> t.read_into b buf));
     write = (fun b data -> timed "disk.write" (fun () -> t.write b data));
     sync = (fun () -> timed "disk.sync" (fun () -> t.sync ()));
   }

@@ -20,6 +20,13 @@ type t = {
   num_blocks : int;
   read : int -> (bytes, error) result;
       (** [read b] returns a fresh buffer holding block [b]. *)
+  read_into : int -> bytes -> (unit, error) result;
+      (** [read_into b buf] fills the caller's [buf] (which must be
+          exactly [block_size] bytes) with block [b] — the zero-copy
+          read path. Same request as [read] in every other respect:
+          layers above must fail, corrupt, count and trace it exactly
+          as they would a [read] of the same block. On error the buffer
+          contents are unspecified. *)
   write : int -> bytes -> (unit, error) result;
       (** [write b data] stores block [b]; [data] must be exactly
           [block_size] bytes. *)
@@ -31,6 +38,12 @@ type t = {
   now : unit -> float;  (** simulated time, milliseconds *)
 }
 
+val read_into_via_read :
+  (int -> (bytes, error) result) -> int -> bytes -> (unit, error) result
+(** Default shim for wrappers without a native zero-copy path: one
+    [read] plus one blit into the caller's buffer. Use as
+    [{ ... read_into = read_into_via_read my_read; ... }]. *)
+
 val in_range : t -> int -> bool
 
 val read_exn : t -> int -> bytes
@@ -40,10 +53,12 @@ val write_exn : t -> int -> bytes -> unit
 
 val observe : Iron_obs.Obs.t -> t -> t
 (** [observe obs dev] interposes the observability layer: every
-    [read]/[write]/[sync] is counted into [obs] under [disk.read],
-    [disk.write], [disk.sync] (with [.error] companions) and its
-    simulated-time latency recorded into the matching [.ms] histogram.
-    Also installs [dev]'s clock as [obs]'s time source, so spans opened
-    above this device carry simulated timestamps. Stacks like the fault
-    injector; typically the outermost wrapper, directly beneath the
-    file system. *)
+    [read]/[read_into]/[write]/[sync] is counted into [obs] under
+    [disk.read], [disk.write], [disk.sync] (with [.error] companions)
+    and its simulated-time latency recorded into the matching [.ms]
+    histogram. [read_into] counts as [disk.read] — the zero-copy path
+    is metric-identical to the allocating one. Also installs [dev]'s
+    clock as [obs]'s time source, so spans opened above this device
+    carry simulated timestamps. Stacks like the fault injector;
+    typically the outermost wrapper, directly beneath the file
+    system. *)

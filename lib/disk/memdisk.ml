@@ -1,4 +1,10 @@
-type params = {
+(* Flat in-memory simulated disk. Timing and statistics live in the
+   shared Model engine (also used by the Cow overlay device, which must
+   behave identically). Snapshots are frozen Cow images, so the two
+   devices interoperate: an image captured here can seed any number of
+   COW overlays, and vice versa. *)
+
+type params = Model.params = {
   block_size : int;
   num_blocks : int;
   seek_min_ms : float;
@@ -8,18 +14,9 @@ type params = {
   seed : int;
 }
 
-let default_params =
-  {
-    block_size = 4096;
-    num_blocks = 2048;
-    seek_min_ms = 0.8;
-    seek_span_ms = 7.2;
-    rotation_ms = 8.33;
-    bandwidth_mb_s = 40.0;
-    seed = 0xD15C;
-  }
+let default_params = Model.default_params
 
-type stats = {
+type stats = Model.stats = {
   reads : int;
   writes : int;
   syncs : int;
@@ -27,98 +24,48 @@ type stats = {
   elapsed_ms : float;
 }
 
+type snapshot = Cow.image
+
 type t = {
   params : params;
+  model : Model.t;
   store : bytes array;
-  rng : Iron_util.Prng.t;
-  mutable head : int; (* block under the head after the last request *)
-  mutable clock : float;
-  mutable dirty : bool; (* writes not yet followed by a sync *)
-  mutable timed : bool;
-  mutable reads : int;
-  mutable writes : int;
-  mutable syncs : int;
-  mutable seeks : int;
-  (* Blocks written (write/poke) since the last [restore]; lets a
-     repeated restore from the same snapshot re-blit only what changed.
-     The fingerprint executor restores the same 8 MB image hundreds of
-     times per campaign, and full blits are memory-bandwidth-bound. *)
-  touched : bool array;
-  mutable last_restored : snapshot option; (* physical identity *)
 }
-
-and snapshot = { blocks : bytes array }
 
 let create ?(params = default_params) () =
   {
     params;
+    model = Model.create params;
     store = Array.init params.num_blocks (fun _ -> Bytes.make params.block_size '\000');
-    rng = Iron_util.Prng.create params.seed;
-    head = 0;
-    clock = 0.0;
-    dirty = false;
-    timed = true;
-    reads = 0;
-    writes = 0;
-    syncs = 0;
-    seeks = 0;
-    touched = Array.make params.num_blocks false;
-    last_restored = None;
   }
-
-let transfer_ms t =
-  float_of_int t.params.block_size /. (t.params.bandwidth_mb_s *. 1048.576)
-
-(* Advance the simulated clock for a request on block [b]. Sequential
-   accesses stream from the media with transfer time only; a short
-   forward skip just passes over the gap under the head; anything else
-   costs a seek plus a rotational wait. *)
-let near_skip = 16
-
-let charge t b =
-  if t.timed then begin
-    let p = t.params in
-    let gap = b - t.head in
-    if gap = 1 || gap = 0 then t.clock <- t.clock +. transfer_ms t
-    else if gap > 1 && gap <= near_skip then
-      t.clock <- t.clock +. (float_of_int gap *. transfer_ms t)
-    else begin
-      t.seeks <- t.seeks + 1;
-      let dist = abs gap in
-      let frac = float_of_int dist /. float_of_int p.num_blocks in
-      let seek = p.seek_min_ms +. (p.seek_span_ms *. sqrt frac) in
-      let rot = Iron_util.Prng.float t.rng p.rotation_ms in
-      t.clock <- t.clock +. seek +. rot +. transfer_ms t
-    end
-  end;
-  t.head <- b
 
 let read t b =
   if b < 0 || b >= t.params.num_blocks then Error Dev.Enxio
   else begin
-    t.reads <- t.reads + 1;
-    charge t b;
+    Model.charge_read t.model b;
     Ok (Bytes.copy t.store.(b))
+  end
+
+let read_into t b buf =
+  if b < 0 || b >= t.params.num_blocks then Error Dev.Enxio
+  else if Bytes.length buf <> t.params.block_size then Error Dev.Eio
+  else begin
+    Model.charge_read t.model b;
+    Bytes.blit t.store.(b) 0 buf 0 t.params.block_size;
+    Ok ()
   end
 
 let write t b data =
   if b < 0 || b >= t.params.num_blocks then Error Dev.Enxio
   else if Bytes.length data <> t.params.block_size then Error Dev.Eio
   else begin
-    t.writes <- t.writes + 1;
-    charge t b;
+    Model.charge_write t.model b;
     Bytes.blit data 0 t.store.(b) 0 t.params.block_size;
-    t.touched.(b) <- true;
-    t.dirty <- true;
     Ok ()
   end
 
 let sync t =
-  t.syncs <- t.syncs + 1;
-  if t.dirty then begin
-    if t.timed then t.clock <- t.clock +. (t.params.rotation_ms /. 2.0);
-    t.dirty <- false
-  end;
+  Model.charge_sync t.model;
   Ok ()
 
 let dev t =
@@ -126,54 +73,32 @@ let dev t =
     Dev.block_size = t.params.block_size;
     num_blocks = t.params.num_blocks;
     read = read t;
+    read_into = read_into t;
     write = write t;
     sync = (fun () -> sync t);
-    now = (fun () -> t.clock);
+    now = (fun () -> Model.now t.model);
   }
 
-let stats t =
-  {
-    reads = t.reads;
-    writes = t.writes;
-    syncs = t.syncs;
-    seeks = t.seeks;
-    elapsed_ms = t.clock;
-  }
-
-let reset_stats t =
-  t.reads <- 0;
-  t.writes <- 0;
-  t.syncs <- 0;
-  t.seeks <- 0;
-  t.clock <- 0.0
-
-let set_time_model t on = t.timed <- on
+let stats t = Model.stats t.model
+let reset_stats t = Model.reset_stats t.model
+let set_time_model t on = Model.set_timed t.model on
 let peek t b = Bytes.copy t.store.(b)
 
 let poke t b data =
-  Bytes.blit data 0 t.store.(b) 0 (min (Bytes.length data) (t.params.block_size));
-  t.touched.(b) <- true
+  Bytes.blit data 0 t.store.(b) 0 (min (Bytes.length data) t.params.block_size)
 
-let snapshot t = { blocks = Array.map Bytes.copy t.store }
+let snapshot t =
+  Cow.make_image ~block_size:t.params.block_size (Array.map Bytes.copy t.store)
 
-(* A restore from the snapshot we already hold only has to undo the
-   blocks written since (snapshots are immutable once taken, so
-   physical identity implies identical content). Anything else — a
-   different snapshot, or no restore yet — is a full blit. *)
+(* Full blit. The fingerprinting hot path no longer restores flat
+   disks (it runs on Cow overlays, where restore is O(dirty)); what is
+   left of [restore] is cold-path test/bench use, so the incremental
+   touched-block bookkeeping this used to carry is gone. *)
 let restore t s =
-  (match t.last_restored with
-  | Some prev when prev == s ->
-      Array.iteri
-        (fun i touched ->
-          if touched then
-            Bytes.blit s.blocks.(i) 0 t.store.(i) 0 (Bytes.length s.blocks.(i)))
-        t.touched
-  | Some _ | None ->
-      Array.iteri
-        (fun i b -> Bytes.blit b 0 t.store.(i) 0 (Bytes.length b))
-        s.blocks);
-  Array.fill t.touched 0 (Array.length t.touched) false;
-  t.last_restored <- Some s;
-  t.head <- 0;
-  t.dirty <- false;
-  reset_stats t
+  if Cow.image_num_blocks s <> t.params.num_blocks
+     || Cow.image_block_size s <> t.params.block_size
+  then invalid_arg "Memdisk.restore: image geometry mismatch";
+  Array.iteri
+    (fun i dst -> Bytes.blit (Cow.image_block s i) 0 dst 0 (Bytes.length dst))
+    t.store;
+  Model.reset t.model

@@ -1,20 +1,13 @@
-(** In-memory simulated disk with a service-time model.
+(** Flat in-memory simulated disk with a service-time model.
 
-    The store is a flat array of blocks; the timing model captures the
-    three components that matter for the paper's Table 6 comparisons:
+    The store is a flat array of blocks; the timing model (shared with
+    {!Cow} via {!Model}) captures seek, rotation and transfer — see
+    {!Model} for the details. Fingerprinting campaigns now run on
+    {!Cow} overlay devices; the flat store remains the straightforward
+    reference implementation (the differential tests pin
+    [Cow ≡ Memdisk]) and the setup/bench workhorse. *)
 
-    - {b seek}: moving the arm between distant blocks costs
-      [seek_min + seek_span * sqrt(distance / num_blocks)] ms;
-    - {b rotation}: after any seek, a uniformly random rotational wait in
-      [0, full_rotation) (drawn from the disk's own deterministic PRNG);
-      strictly sequential accesses stream with no rotational wait;
-    - {b transfer}: [block_size / bandwidth].
-
-    [sync] with dirty data pending charges half a rotation — the ordering
-    stall that a journaling file system pays between its journal-data
-    writes and its commit write, and that transactional checksums avoid. *)
-
-type params = {
+type params = Model.params = {
   block_size : int;  (** bytes per block (default 4096) *)
   num_blocks : int;  (** default 2048 (an 8 MiB volume) *)
   seek_min_ms : float;  (** track-to-track seek (default 0.8) *)
@@ -33,7 +26,7 @@ val dev : t -> Dev.t
 
 (** {2 Statistics} *)
 
-type stats = {
+type stats = Model.stats = {
   reads : int;
   writes : int;
   syncs : int;
@@ -56,9 +49,17 @@ val set_time_model : t -> bool -> unit
 val peek : t -> int -> bytes
 val poke : t -> int -> bytes -> unit
 
-type snapshot
+type snapshot = Cow.image
+(** Snapshots {e are} frozen COW images: capture once here, then
+    overlay any number of {!Cow} devices on the result — the
+    executor's O(dirty) restore discipline. *)
 
 val snapshot : t -> snapshot
+(** O(num_blocks): the flat store is copied into a frozen image. (On a
+    {!Cow} device, [snapshot] is O(dirty) — prefer it on hot paths.) *)
+
 val restore : t -> snapshot -> unit
-(** [restore] also resets statistics and the simulated clock, giving
-    fingerprinting runs identical initial conditions. *)
+(** Full blit of the image into the store; also resets statistics and
+    the simulated clock, giving repeated runs identical initial
+    conditions.
+    @raise Invalid_argument on geometry mismatch. *)

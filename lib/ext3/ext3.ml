@@ -1228,16 +1228,22 @@ let recover_journal profile lay dev klog =
   let bs = lay.Layout.block_size in
   let jstart = lay.Layout.journal_start in
   let jlimit = jstart + lay.Layout.journal_len in
+  (* Scratch block for every decode-then-discard read in the scan
+     (superblock, descriptors, revoke probes, commits): the decoders
+     copy what they keep, so one buffer serves the whole recovery
+     instead of one allocation per journal block. Data blocks that are
+     replayed home are still read into their own buffers. *)
+  let scratch = Bytes.create bs in
   let from_replica why e =
     if not profile.Profile.meta_replica then Error e
     else
       match Layout.replica_of lay jstart with
       | None -> Error e
       | Some r -> (
-          match dev.Dev.read r with
+          match dev.Dev.read_into r scratch with
           | Error _ -> Error e
-          | Ok buf -> (
-              match Jrec.decode_jsuper buf with
+          | Ok () -> (
+              match Jrec.decode_jsuper scratch with
               | Some js ->
                   Klog.warn klog "ixt3"
                     "journal superblock %s; recovered from replica" why;
@@ -1245,15 +1251,15 @@ let recover_journal profile lay dev klog =
               | None -> Error e))
   in
   let* jsb =
-    match dev.Dev.read jstart with
+    match dev.Dev.read_into jstart scratch with
     | Error _ -> (
         match from_replica "unreadable" Errno.EIO with
         | Ok js -> Ok js
         | Error e ->
             Klog.error klog "ext3" "journal superblock unreadable";
             Error e)
-    | Ok buf -> (
-        match Jrec.decode_jsuper buf with
+    | Ok () -> (
+        match Jrec.decode_jsuper scratch with
         | Some js -> Ok js
         | None -> (
             match from_replica "corrupt" Errno.EUCLEAN with
@@ -1268,11 +1274,11 @@ let recover_journal profile lay dev klog =
   let rec scan pos seq =
     if pos >= jlimit then ()
     else
-      match dev.Dev.read pos with
+      match dev.Dev.read_into pos scratch with
       | Error _ ->
           Klog.error klog "ext3" "journal read failed at block %d during recovery" pos
-      | Ok buf -> (
-          match Jrec.decode_desc buf with
+      | Ok () -> (
+          match Jrec.decode_desc scratch with
           | None -> () (* end of log *)
           | Some d when d.Jrec.seq <> seq -> ()
           | Some d -> (
@@ -1292,18 +1298,18 @@ let recover_journal profile lay dev klog =
                 let after = pos + 1 + count in
                 (* Optional revoke block, then the commit. *)
                 let rev, cpos =
-                  match dev.Dev.read after with
-                  | Ok b -> (
-                      match Jrec.decode_revoke b with
+                  match dev.Dev.read_into after scratch with
+                  | Ok () -> (
+                      match Jrec.decode_revoke scratch with
                       | Some r when r.Jrec.rseq = seq -> (Some r, after + 1)
                       | Some _ | None -> (None, after))
                   | Error _ -> (None, after)
                 in
-                match dev.Dev.read cpos with
+                match dev.Dev.read_into cpos scratch with
                 | Error _ ->
                     Klog.error klog "ext3" "journal commit read failed during recovery"
-                | Ok cbuf -> (
-                    match Jrec.decode_commit cbuf with
+                | Ok () -> (
+                    match Jrec.decode_commit scratch with
                     | Some c when c.Jrec.cseq = seq ->
                         let checksum_ok =
                           match c.Jrec.checksum with
@@ -1382,13 +1388,16 @@ let recover_journal profile lay dev klog =
 
 let mount_impl profile dev =
   let klog = Klog.create ~clock:dev.Dev.now () in
-  (* Read and validate the superblock; ixt3 falls back to the copies. *)
+  (* Read and validate the superblock; ixt3 falls back to the copies.
+     [Sb.decode] keeps nothing of the buffer, so all candidate blocks
+     share one scratch. *)
+  let sb_scratch = Bytes.create dev.Dev.block_size in
   let read_sb () =
     let try_block b =
-      match dev.Dev.read b with
+      match dev.Dev.read_into b sb_scratch with
       | Error _ -> Error Errno.EIO
-      | Ok buf -> (
-          match Sb.decode buf with Ok sb -> Ok sb | Error e -> Error e)
+      | Ok () -> (
+          match Sb.decode sb_scratch with Ok sb -> Ok sb | Error e -> Error e)
     in
     match try_block 0 with
     | Ok sb -> Ok sb
@@ -1425,18 +1434,20 @@ let mount_impl profile dev =
     (* Journal recovery before anything else touches the metadata. *)
     let* jseq = recover_journal profile lay dev klog in
     (* Group descriptors. *)
+    (* Group descriptors are decoded into arrays below and the raw
+       block dropped, so the superblock scratch is reused here. *)
     let* gd =
-      match dev.Dev.read 1 with
-      | Ok buf -> Ok buf
+      match dev.Dev.read_into 1 sb_scratch with
+      | Ok () -> Ok sb_scratch
       | Error _ -> (
           Klog.error klog "ext3" "cannot read group descriptors";
           if profile.Profile.meta_replica then
             match Layout.replica_of lay 1 with
             | Some r -> (
-                match dev.Dev.read r with
-                | Ok buf ->
+                match dev.Dev.read_into r sb_scratch with
+                | Ok () ->
                     Klog.warn klog "ixt3" "group descriptors recovered from replica";
-                    Ok buf
+                    Ok sb_scratch
                 | Error _ -> Error Errno.EIO)
             | None -> Error Errno.EIO
           else Error Errno.EIO)

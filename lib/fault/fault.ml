@@ -206,6 +206,36 @@ let read t block =
           record t Read block (Io_error e);
           Error e)
 
+(* The zero-copy twin of [read]: same firing decision, same trace
+   events, same injection counters — corruption mangles the caller's
+   buffer in place instead of a freshly allocated one. A [read] and a
+   [read_into] of the same block are indistinguishable to every layer
+   above and below. *)
+let read_into t block buf =
+  match firing t Read block with
+  | Some Fail_read ->
+      record_injection t Fail_read;
+      record t Read block (Io_error Iron_disk.Dev.Eio);
+      Error Iron_disk.Dev.Eio
+  | Some (Corrupt c) -> (
+      match t.below.Iron_disk.Dev.read_into block buf with
+      | Ok () ->
+          corrupt_block c buf;
+          record_injection t (Corrupt c);
+          record t Read block Io_corrupted;
+          Ok ()
+      | Error e ->
+          record t Read block (Io_error e);
+          Error e)
+  | Some Fail_write | None -> (
+      match t.below.Iron_disk.Dev.read_into block buf with
+      | Ok () as ok ->
+          record t Read block Io_ok;
+          ok
+      | Error e ->
+          record t Read block (Io_error e);
+          Error e)
+
 let write t block data =
   match firing t Write block with
   | Some Fail_write ->
@@ -227,6 +257,7 @@ let dev t =
     Iron_disk.Dev.block_size = t.below.Iron_disk.Dev.block_size;
     num_blocks = t.below.Iron_disk.Dev.num_blocks;
     read = read t;
+    read_into = read_into t;
     write = write t;
     sync = t.below.Iron_disk.Dev.sync;
     now = t.below.Iron_disk.Dev.now;

@@ -77,6 +77,11 @@ val default_trace_cap : int
     thousand I/Os. *)
 
 val dev : t -> Iron_disk.Dev.t
+(** The injector as a device. Its [read_into] is the zero-copy twin of
+    [read]: same firing decision against the armed rules, same trace
+    events and injection counters, with corruption applied in the
+    caller's buffer — the two are indistinguishable to the layers
+    above and below. *)
 
 type rule_id
 

@@ -940,19 +940,28 @@ let mkfs_impl dev =
   match dev.Dev.sync () with Ok () -> Ok () | Error _ -> Error Errno.EIO
 
 let recover_journal dev klog =
+  (* One scratch block serves the whole recovery: the journal decoders
+     and [scan_committed] copy what they keep ([decode_record_block]
+     extracts strings), and replayed blocks are patched in place and
+     written straight back. *)
+  let scratch = Bytes.create dev.Dev.block_size in
   let* txid, start =
-    match dev.Dev.read jsuper_block with
+    match dev.Dev.read_into jsuper_block scratch with
     | Error _ ->
         Klog.error klog "jfs" "journal superblock unreadable";
         Error Errno.EIO
-    | Ok buf -> (
-        match decode_jsuper buf with
+    | Ok () -> (
+        match decode_jsuper scratch with
         | Some v -> Ok v
         | None ->
             Klog.error klog "jfs" "journal superblock bad magic";
             Error Errno.EUCLEAN)
   in
-  let read b = match dev.Dev.read b with Ok d -> Some d | Error _ -> None in
+  let read b =
+    match dev.Dev.read_into b scratch with
+    | Ok () -> Some scratch
+    | Error _ -> None
+  in
   let records = scan_committed read ~min_tx:txid start in
   let* () =
     (* Replay, with sanity checking; a failure aborts the replay and the
@@ -966,13 +975,14 @@ let recover_journal dev klog =
           Error Errno.EUCLEAN
         end
         else
-          match dev.Dev.read r.r_block with
+          match dev.Dev.read_into r.r_block scratch with
           | Error _ ->
               Klog.error klog "jfs" "replay read of block %d failed" r.r_block;
               Ok ()
-          | Ok home ->
-              Bytes.blit_string r.r_data 0 home r.r_off (String.length r.r_data);
-              (match dev.Dev.write r.r_block home with
+          | Ok () ->
+              Bytes.blit_string r.r_data 0 scratch r.r_off
+                (String.length r.r_data);
+              (match dev.Dev.write r.r_block scratch with
               | Ok () -> ()
               | Error _ -> ());
               Ok ())
@@ -988,24 +998,27 @@ let recover_journal dev klog =
 
 let mount_impl dev =
   let klog = Klog.create ~clock:dev.Dev.now () in
+  (* Every mount-time read here is decode-then-discard, so one scratch
+     block covers them all. *)
+  let scratch = Bytes.create dev.Dev.block_size in
   (* Primary superblock; the alternate is used after a failed read but
      NOT after a corrupt one — the paper's inconsistency. *)
   let* num_blocks, _aggr =
-    match dev.Dev.read super_primary with
+    match dev.Dev.read_into super_primary scratch with
     | Error _ -> (
         Klog.warn klog "jfs" "primary superblock unreadable; trying alternate";
-        match dev.Dev.read super_secondary with
+        match dev.Dev.read_into super_secondary scratch with
         | Error _ ->
             Klog.error klog "jfs" "alternate superblock unreadable too";
             Error Errno.EIO
-        | Ok buf -> (
-            match decode_super buf with
+        | Ok () -> (
+            match decode_super scratch with
             | Some v -> Ok v
             | None ->
                 Klog.error klog "jfs" "alternate superblock invalid";
                 Error Errno.EUCLEAN))
-    | Ok buf -> (
-        match decode_super buf with
+    | Ok () -> (
+        match decode_super scratch with
         | Some v -> Ok v
         | None ->
             (* Corrupt primary: mount fails; the copy is not consulted. *)
@@ -1014,12 +1027,12 @@ let mount_impl dev =
   in
   let* () =
     (* Aggregate inode; its secondary copy is never used (§5.3). *)
-    match dev.Dev.read aggr_primary with
+    match dev.Dev.read_into aggr_primary scratch with
     | Error _ ->
         Klog.error klog "jfs" "aggregate inode unreadable";
         Error Errno.EIO
-    | Ok buf -> (
-        match decode_aggr num_blocks buf with
+    | Ok () -> (
+        match decode_aggr num_blocks scratch with
         | Some _ -> Ok ()
         | None ->
             Klog.error klog "jfs" "aggregate inode failed sanity check";
@@ -1028,24 +1041,24 @@ let mount_impl dev =
   let* txid = recover_journal dev klog in
   (* Map descriptors: the equality check. *)
   let* free_blocks =
-    match dev.Dev.read bmap_desc_block with
+    match dev.Dev.read_into bmap_desc_block scratch with
     | Error _ ->
         Klog.error klog "jfs" "block map descriptor unreadable";
         Error Errno.EIO
-    | Ok buf -> (
-        match decode_counted buf with
+    | Ok () -> (
+        match decode_counted scratch with
         | Some v -> Ok v
         | None ->
             Klog.error klog "jfs" "block map descriptor equality check failed";
             Error Errno.EUCLEAN)
   in
   let* free_inodes =
-    match dev.Dev.read imap_cntl_block with
+    match dev.Dev.read_into imap_cntl_block scratch with
     | Error _ ->
         Klog.error klog "jfs" "inode map control unreadable";
         Error Errno.EIO
-    | Ok buf -> (
-        match decode_counted buf with
+    | Ok () -> (
+        match decode_counted scratch with
         | Some v -> Ok v
         | None ->
             Klog.error klog "jfs" "inode map control equality check failed";

@@ -22,8 +22,16 @@ let length t = t.len
 let capacity t = t.cap
 let dropped t = t.dropped
 
+(* O(live items), not O(capacity): the fingerprinting executor clears a
+   65536-slot trace ring between jobs that each push only a few hundred
+   events — filling the whole array every time dominated the clear. *)
 let clear t =
-  Array.fill t.slots 0 t.cap None;
+  if t.len > 0 then begin
+    let start = (t.next - t.len + (2 * t.cap)) mod t.cap in
+    let tail = min t.len (t.cap - start) in
+    Array.fill t.slots start tail None;
+    if tail < t.len then Array.fill t.slots 0 (t.len - tail) None
+  end;
   t.len <- 0;
   t.next <- 0;
   t.dropped <- 0

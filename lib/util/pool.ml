@@ -29,8 +29,15 @@ let worker_loop t =
   in
   loop ()
 
+(* Asking for more workers than the runtime recommends only adds
+   scheduling overhead: on a 1-core host, [-j4] used to *double* the
+   fig2 wall time. The caller's own domain also counts against the
+   recommendation, hence the [- 1] (floored at 1). *)
+let clamp_workers n =
+  max 1 (min n (max 1 (Domain.recommended_domain_count () - 1)))
+
 let create n =
-  let size = max 1 n in
+  let size = clamp_workers n in
   let t =
     {
       m = Mutex.create ();
@@ -88,33 +95,52 @@ let notify on_job ~queue_ms ~run_ms =
   | None -> ()
   | Some f -> ( try f ~queue_ms ~run_ms with _ -> ())
 
+(* Submission granularity. One queue entry per job meant one
+   lock/signal round-trip per job; batching ~16 jobs per entry
+   amortizes the queue traffic while leaving enough entries for the
+   workers to load-balance. Small batches (at least ~4 entries per
+   worker when the input allows it) keep the tail from serializing. *)
+let max_chunk = 16
+
+let chunk_size t n =
+  max 1 (min max_chunk ((n + (4 * t.size) - 1) / (4 * t.size)))
+
 let map ?on_job t f xs =
   let input = Array.of_list xs in
   let n = Array.length input in
   if n = 0 then []
   else begin
     let results = Array.make n None in
-    let remaining = ref n in
+    let chunk = chunk_size t n in
+    let nchunks = (n + chunk - 1) / chunk in
+    let remaining = ref nchunks in
     let alldone = Condition.create () in
     Mutex.lock t.m;
-    Array.iteri
-      (fun i x ->
-        let enqueued = Unix.gettimeofday () in
-        Queue.push
-          (fun () ->
+    for c = 0 to nchunks - 1 do
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) in
+      let enqueued = Unix.gettimeofday () in
+      Queue.push
+        (fun () ->
+          (* Run the whole chunk without touching the lock; each job is
+             individually fenced so one raise never skips its batch
+             mates (the exactly-once contract). *)
+          let local = Array.make (hi - lo) None in
+          for i = lo to hi - 1 do
             let started = Unix.gettimeofday () in
-            let r = try Ok (f x) with e -> Error e in
+            local.(i - lo) <- Some (try Ok (f input.(i)) with e -> Error e);
             let finished = Unix.gettimeofday () in
             notify on_job
               ~queue_ms:((started -. enqueued) *. 1000.)
-              ~run_ms:((finished -. started) *. 1000.);
-            Mutex.lock t.m;
-            results.(i) <- Some r;
-            decr remaining;
-            if !remaining = 0 then Condition.signal alldone;
-            Mutex.unlock t.m)
-          t.q)
-      input;
+              ~run_ms:((finished -. started) *. 1000.)
+          done;
+          Mutex.lock t.m;
+          Array.blit local 0 results lo (hi - lo);
+          decr remaining;
+          if !remaining = 0 then Condition.signal alldone;
+          Mutex.unlock t.m)
+        t.q
+    done;
     Condition.broadcast t.nonempty;
     while !remaining > 0 do
       Condition.wait alldone t.m

@@ -1,0 +1,310 @@
+(* Differential tests pinning the copy-on-write overlay device to the
+   flat reference implementation, and the zero-copy read path to the
+   allocating one.
+
+   The executor's correctness argument is "Cow ≡ Memdisk through the
+   device interface" — same data, same errors, same service-time
+   charges, same statistics — plus "read_into ≡ read" through every
+   wrapper (the injector, the observed device). Both equivalences are
+   checked here as qcheck properties over random operation sequences,
+   with directed cases for the snapshot/restore image discipline. *)
+
+open Iron_disk
+open Iron_fault
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Small but non-trivial geometry; the timing model stays ON so clock
+   and seek behaviour are part of the comparison. *)
+let nb = 48
+
+let params seed =
+  { Memdisk.default_params with Memdisk.block_size = 512; num_blocks = nb; seed }
+
+let err_str = function
+  | Dev.Eio -> "EIO"
+  | Dev.Enxio -> "ENXIO"
+
+let res_str = function
+  | Ok data -> "ok:" ^ Digest.to_hex (Digest.bytes data)
+  | Error e -> "err:" ^ err_str e
+
+let unit_str = function
+  | Ok () -> "ok"
+  | Error e -> "err:" ^ err_str e
+
+(* --- the operation language ------------------------------------------ *)
+
+type op =
+  | Read of int
+  | Read_into of int
+  | Write of int * int (* block, fill seed *)
+  | Bad_write of int (* wrong-size buffer *)
+  | Sync
+  | Snapshot
+  | Restore
+
+let op_gen =
+  (* Blocks range a little past the end so ENXIO parity is exercised. *)
+  let open QCheck.Gen in
+  let blk = int_range (-2) (nb + 4) in
+  frequency
+    [
+      (4, map (fun b -> Read b) blk);
+      (4, map (fun b -> Read_into b) blk);
+      (6, map2 (fun b s -> Write (b, s)) blk (int_bound 255));
+      (1, map (fun b -> Bad_write b) blk);
+      (1, return Sync);
+      (2, return Snapshot);
+      (2, return Restore);
+    ]
+
+let op_print = function
+  | Read b -> Printf.sprintf "Read %d" b
+  | Read_into b -> Printf.sprintf "Read_into %d" b
+  | Write (b, s) -> Printf.sprintf "Write (%d, %d)" b s
+  | Bad_write b -> Printf.sprintf "Bad_write %d" b
+  | Sync -> "Sync"
+  | Snapshot -> "Snapshot"
+  | Restore -> "Restore"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map op_print l))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let fill seed = Bytes.make 512 (Char.chr (seed land 0xff))
+
+(* Drive one op against a device, returning a comparable transcript
+   line. [snap]/[restore] are the implementation-specific image ops. *)
+let step dev ~snap ~restore = function
+  | Read b -> res_str (dev.Dev.read b)
+  | Read_into b ->
+      let buf = Bytes.create dev.Dev.block_size in
+      let r = dev.Dev.read_into b buf in
+      (match r with
+      | Ok () -> "ok:" ^ Digest.to_hex (Digest.bytes buf)
+      | Error e -> "err:" ^ err_str e)
+  | Write (b, s) -> unit_str (dev.Dev.write b (fill s))
+  | Bad_write b -> unit_str (dev.Dev.write b (Bytes.create 7))
+  | Sync -> unit_str (dev.Dev.sync ())
+  | Snapshot ->
+      snap ();
+      "snap"
+  | Restore ->
+      restore ();
+      "restore"
+
+let stats_str (s : Memdisk.stats) now =
+  Printf.sprintf "r=%d w=%d s=%d seeks=%d ms=%.6f now=%.6f" s.Memdisk.reads
+    s.writes s.syncs s.seeks s.elapsed_ms now
+
+let prop_cow_equiv_memdisk =
+  QCheck.Test.make ~name:"Cow ≡ Memdisk under random ops" ~count:150
+    QCheck.(pair (int_bound 1000) ops_arb)
+    (fun (seed, ops) ->
+      let flat = Memdisk.create ~params:(params seed) () in
+      let cow = Cow.create ~params:(params seed) () in
+      let fdev = Memdisk.dev flat and cdev = Cow.dev cow in
+      (* Each side keeps its latest snapshot; Restore before any
+         Snapshot rewinds to the blank initial image. *)
+      let fsnap = ref (Memdisk.snapshot flat) in
+      let csnap = ref (Cow.snapshot cow) in
+      List.for_all
+        (fun op ->
+          let a =
+            step fdev
+              ~snap:(fun () -> fsnap := Memdisk.snapshot flat)
+              ~restore:(fun () -> Memdisk.restore flat !fsnap)
+              op
+          in
+          let b =
+            step cdev
+              ~snap:(fun () -> csnap := Cow.snapshot cow)
+              ~restore:(fun () -> Cow.restore cow !csnap)
+              op
+          in
+          let sa = stats_str (Memdisk.stats flat) (fdev.Dev.now ()) in
+          let sb = stats_str (Cow.stats cow) (cdev.Dev.now ()) in
+          if a <> b then
+            QCheck.Test.fail_reportf "op %s: flat %s vs cow %s" (op_print op) a b
+          else if sa <> sb then
+            QCheck.Test.fail_reportf "op %s: stats %s vs %s" (op_print op) sa sb
+          else true)
+        ops
+      && (* Final disk contents must agree block for block. *)
+      List.for_all
+        (fun b -> Bytes.equal (Memdisk.peek flat b) (Cow.peek cow b))
+        (List.init nb Fun.id))
+
+(* --- directed image-discipline cases --------------------------------- *)
+
+let test_snapshot_is_frozen () =
+  let cow = Cow.create ~params:(params 7) () in
+  let dev = Cow.dev cow in
+  Dev.write_exn dev 3 (fill 0xAA);
+  let img = Cow.snapshot cow in
+  (* Writing after the freeze must not leak into the image. *)
+  Dev.write_exn dev 3 (fill 0xBB);
+  Cow.restore cow img;
+  check Alcotest.bytes "restore sees frozen bytes" (fill 0xAA)
+    (Dev.read_exn dev 3);
+  check Alcotest.int "restore resets stats" 0 (Cow.stats cow).Memdisk.writes
+
+let test_restore_is_o_dirty () =
+  let cow = Cow.create ~params:(params 8) () in
+  let dev = Cow.dev cow in
+  let img = Cow.snapshot cow in
+  Dev.write_exn dev 1 (fill 1);
+  Dev.write_exn dev 2 (fill 2);
+  check Alcotest.int "two dirty blocks" 2 (Cow.dirty_count cow);
+  Cow.restore cow img;
+  check Alcotest.int "restore drops the overlay" 0 (Cow.dirty_count cow);
+  check Alcotest.bytes "block reverted" (Bytes.make 512 '\000')
+    (Dev.read_exn dev 1)
+
+let test_images_share_clean_blocks () =
+  let cow = Cow.create ~params:(params 9) () in
+  let dev = Cow.dev cow in
+  Dev.write_exn dev 5 (fill 5);
+  let a = Cow.snapshot cow in
+  Dev.write_exn dev 6 (fill 6);
+  let b = Cow.snapshot cow in
+  (* Block 5 was clean between the freezes: physically shared. *)
+  check Alcotest.bool "clean block shared between images" true
+    (Cow.image_block a 5 == Cow.image_block b 5);
+  check Alcotest.bool "dirty block not shared" false
+    (Cow.image_block a 6 == Cow.image_block b 6)
+
+let test_geometry_mismatch_raises () =
+  let cow = Cow.create ~params:(params 10) () in
+  let img = Cow.blank_image ~block_size:512 ~num_blocks:(nb * 2) in
+  match Cow.restore cow img with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_memdisk_snapshot_feeds_cow () =
+  (* The executor's prepare path: capture on one device, overlay the
+     image on a fresh one. *)
+  let flat = Memdisk.create ~params:(params 11) () in
+  Memdisk.poke flat 4 (fill 0x44);
+  let img = Memdisk.snapshot flat in
+  let cow = Cow.create ~params:(params 11) () in
+  Cow.restore cow img;
+  check Alcotest.bytes "image carried across devices" (fill 0x44)
+    (Dev.read_exn (Cow.dev cow) 4)
+
+(* --- read_into ≡ read through the wrapper stack ---------------------- *)
+
+(* Twin stacks over identical content and identical fault rules; one is
+   driven with [read], the other with [read_into]. Everything
+   observable — data, errors, the injector's trace, its counters, the
+   metrics registry — must be indistinguishable. *)
+
+let event_str (e : Fault.event) =
+  Format.asprintf "%a" Fault.pp_event e
+
+let build_stack seed =
+  let md = Memdisk.create ~params:(params seed) () in
+  Memdisk.set_time_model md false;
+  let prng = Iron_util.Prng.create (seed lxor 0xC0FFEE) in
+  for b = 0 to nb - 1 do
+    let buf = Bytes.create 512 in
+    Iron_util.Prng.fill_bytes prng buf;
+    Memdisk.poke md b buf
+  done;
+  let obs = Iron_obs.Obs.create () in
+  let inj = Fault.create ~obs (Memdisk.dev md) in
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 3) Fault.Fail_read));
+  ignore
+    (Fault.arm inj
+       (Fault.rule
+          ~persistence:(Fault.Transient 2)
+          (Fault.Block 5)
+          (Fault.Corrupt (Fault.Noise 42))));
+  ignore
+    (Fault.arm inj (Fault.rule (Fault.Range (9, 11)) (Fault.Corrupt Fault.Byte_shift)));
+  (obs, inj, Dev.observe obs (Fault.dev inj))
+
+let test_read_into_equiv_through_fault_and_obs () =
+  let obs_a, inj_a, dev_a = build_stack 21 in
+  let obs_b, inj_b, dev_b = build_stack 21 in
+  (* Every block twice, so the Transient rule runs out on both sides at
+     the same access. *)
+  let accesses = List.init (2 * nb) (fun i -> i mod nb) in
+  List.iter
+    (fun b ->
+      let via_read = res_str (dev_a.Dev.read b) in
+      let buf = Bytes.create dev_b.Dev.block_size in
+      let via_into =
+        match dev_b.Dev.read_into b buf with
+        | Ok () -> "ok:" ^ Digest.to_hex (Digest.bytes buf)
+        | Error e -> "err:" ^ err_str e
+      in
+      check Alcotest.string (Printf.sprintf "block %d" b) via_read via_into)
+    accesses;
+  (* The injectors saw identical histories... *)
+  check
+    Alcotest.(list string)
+    "identical fault traces"
+    (List.map event_str (Fault.trace inj_a))
+    (List.map event_str (Fault.trace inj_b));
+  (* ...and the metrics registries agree byte for byte. *)
+  check Alcotest.string "identical metrics"
+    (Iron_obs.Obs.jsonl_of_snapshot (Iron_obs.Obs.snapshot obs_a))
+    (Iron_obs.Obs.jsonl_of_snapshot (Iron_obs.Obs.snapshot obs_b))
+
+let prop_bcache_read_into_equiv =
+  QCheck.Test.make ~name:"Bcache.read_into ≡ Bcache.read" ~count:100
+    QCheck.(pair (int_bound 1000) (small_list (int_range (-1) (nb + 2))))
+    (fun (seed, blocks) ->
+      let mk () =
+        let md = Memdisk.create ~params:(params seed) () in
+        Memdisk.set_time_model md false;
+        let prng = Iron_util.Prng.create (seed lxor 0xBCACE) in
+        for b = 0 to nb - 1 do
+          let buf = Bytes.create 512 in
+          Iron_util.Prng.fill_bytes prng buf;
+          Memdisk.poke md b buf
+        done;
+        Bcache.create ~capacity:8 (Memdisk.dev md)
+      in
+      let ca = mk () and cb = mk () in
+      List.for_all
+        (fun b ->
+          let via_read = res_str (Bcache.read ca b) in
+          let buf = Bytes.create 512 in
+          let via_into =
+            match Bcache.read_into cb b buf with
+            | Ok () -> "ok:" ^ Digest.to_hex (Digest.bytes buf)
+            | Error e -> "err:" ^ err_str e
+          in
+          via_read = via_into
+          && Bcache.hits ca = Bcache.hits cb
+          && Bcache.misses ca = Bcache.misses cb)
+        blocks)
+
+let suites =
+  [
+    ( "disk.cow",
+      [
+        qtest prop_cow_equiv_memdisk;
+        Alcotest.test_case "snapshot freezes the image" `Quick
+          test_snapshot_is_frozen;
+        Alcotest.test_case "restore drops only the overlay" `Quick
+          test_restore_is_o_dirty;
+        Alcotest.test_case "images share clean blocks" `Quick
+          test_images_share_clean_blocks;
+        Alcotest.test_case "geometry mismatch raises" `Quick
+          test_geometry_mismatch_raises;
+        Alcotest.test_case "memdisk snapshot overlays a cow" `Quick
+          test_memdisk_snapshot_feeds_cow;
+      ] );
+    ( "disk.read_into",
+      [
+        Alcotest.test_case "read_into ≡ read through Fault+Obs" `Quick
+          test_read_into_equiv_through_fault_and_obs;
+        qtest prop_bcache_read_into_equiv;
+      ] );
+  ]
