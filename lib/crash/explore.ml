@@ -1,0 +1,506 @@
+(* Crash-state exploration. See explore.mli for the model.
+
+   Pipeline:
+
+     record      mkfs + durable (fsync'd) files, clean unmount, remount;
+                 snapshot the COW base image; run the racing workload
+                 through a Wlog recorder (every write copied, epochs at
+                 sync boundaries)
+     enumerate   pure: turn the log into crash-state specs, one reorder
+                 window per epoch plus the whole log, deduplicated by
+                 final disk content
+     check       per state: O(dirty) restore of the base image + one
+                 poke per chosen block, remount, verify invariants
+     aggregate   fold per-state outcomes (in spec order) into a report
+
+   The check phase is embarrassingly parallel: a spec is immutable, the
+   base image is frozen, and each worker domain keeps one private COW
+   scratch in domain-local storage — the same discipline as the
+   fingerprinting executor. Results are slotted by spec index, so the
+   report cannot depend on the worker count. *)
+
+module Cow = Iron_disk.Cow
+module Memdisk = Iron_disk.Memdisk
+module Dev = Iron_disk.Dev
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Klog = Iron_vfs.Klog
+module Obs = Iron_obs.Obs
+module Prng = Iron_util.Prng
+module Pool = Iron_util.Pool
+
+type kind = Unmountable | Data_loss | Fsck_unclean | Panic
+
+let kind_to_string = function
+  | Unmountable -> "unmountable"
+  | Data_loss -> "data-loss"
+  | Fsck_unclean -> "fsck-unclean"
+  | Panic -> "panic"
+
+type violation = { state : string; v_kind : kind; detail : string }
+
+type report = {
+  fs : string;
+  log_len : int;
+  rep_epochs : int;
+  states : int;
+  violations : violation list;
+  tc_detected : int;
+}
+
+let count r k = List.length (List.filter (fun v -> v.v_kind = k) r.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Record                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic file contents; sizes span one to two blocks so each
+   racing commit journals several payload blocks. *)
+let content tag i =
+  Printf.sprintf "%s-%d-%s" tag i
+    (String.make
+       (900 + (i * 1777 mod 6200))
+       (Char.chr (Char.code 'a' + (i mod 26))))
+
+type recorded = {
+  baseline : Cow.image;
+  entries : Wlog.entry array;
+  n_epochs : int;
+  durable : (string * string) list;
+}
+
+let fail_setup what e =
+  failwith ("crash explore: " ^ what ^ ": " ^ Errno.to_string e)
+
+let record ~params ~durable_files ~racing_files brand =
+  let cow = Cow.create ~params () in
+  Cow.set_time_model cow false;
+  let wlog = Wlog.create (Cow.dev cow) in
+  let dev = Wlog.dev wlog in
+  (match Fs.mkfs brand dev with Ok () -> () | Error e -> fail_setup "mkfs" e);
+  let durable =
+    List.init durable_files (fun i ->
+        (Printf.sprintf "/durable%d" i, content "durable" i))
+  in
+  (* Phase 1: durable state. Each file is fsync'd and the volume is
+     cleanly unmounted (checkpointed), so every durable byte is home
+     before the crash window opens. *)
+  (match Fs.mount brand dev with
+  | Error e -> fail_setup "mount" e
+  | Ok (Fs.Boxed ((module F), t)) ->
+      List.iter
+        (fun (path, data) ->
+          match F.creat t path with
+          | Error e -> fail_setup path e
+          | Ok fd ->
+              (match F.write t fd ~off:0 (Bytes.of_string data) with
+              | Ok _ -> ()
+              | Error e -> fail_setup path e);
+              (match F.fsync t fd with Ok () -> () | Error e -> fail_setup path e);
+              ignore (F.close t fd))
+        durable;
+      (match F.unmount t with Ok () -> () | Error e -> fail_setup "unmount" e));
+  (* Phase 2: remount (recovery is a no-op, but its superblock writes
+     must land before the snapshot), freeze the baseline, and only then
+     start recording the racing workload. The mounted instance is
+     abandoned afterwards — that is the crash. *)
+  match Fs.mount brand dev with
+  | Error e -> fail_setup "remount" e
+  | Ok (Fs.Boxed ((module F), t)) ->
+      let baseline = Cow.snapshot cow in
+      Wlog.set_recording wlog true;
+      (try
+         for i = 0 to racing_files - 1 do
+           match F.creat t (Printf.sprintf "/racing%d" i) with
+           | Error _ -> ()
+           | Ok fd ->
+               ignore
+                 (F.write t fd ~off:0 (Bytes.of_string (content "racing" (100 + i))));
+               (match F.fsync t fd with Ok () | Error _ -> ());
+               ignore (F.close t fd)
+         done
+       with Klog.Panic _ -> ());
+      {
+        baseline;
+        entries = Wlog.entries wlog;
+        n_epochs = Wlog.epochs wlog;
+        durable;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Enumerate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash-state spec: the final persisted content choice per block
+   ([choices] maps block -> log index whose data survives; blocks
+   absent keep the baseline), plus at most one torn write — the first
+   [len] bytes of log entry [idx] land on top of the otherwise-chosen
+   content of its block. Specs respect per-block write order by
+   construction: each block persists a prefix of its own writes. *)
+type spec = {
+  label : string;
+  choices : (int * int) array; (* (block, entry idx), sorted by block *)
+  torn : (int * int) option; (* (entry idx, persisted bytes) *)
+}
+
+(* One reorder window: the entries a crash may persist any admissible
+   subset of, on top of a durable prefix (the closed epochs before
+   it). *)
+type window = {
+  w_name : string;
+  durable_last : (int * int) list; (* per-block last durable write *)
+  blocks : int array; (* window blocks, in first-touch order *)
+  groups : int array array; (* per block: its window writes, in order *)
+}
+
+let window_of entries ~name ~in_durable ~in_window =
+  let durable = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (e : Wlog.entry) ->
+      if in_durable e then Hashtbl.replace durable e.Wlog.w_block i)
+    entries;
+  let order = ref [] in
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (e : Wlog.entry) ->
+      if in_window e then
+        match Hashtbl.find_opt groups e.Wlog.w_block with
+        | Some l -> l := i :: !l
+        | None ->
+            Hashtbl.add groups e.Wlog.w_block (ref [ i ]);
+            order := e.Wlog.w_block :: !order)
+    entries;
+  let blocks = Array.of_list (List.rev !order) in
+  let durable_last =
+    List.sort compare
+      (Hashtbl.fold (fun b i acc -> (b, i) :: acc) durable [])
+  in
+  {
+    w_name = name;
+    durable_last;
+    blocks;
+    groups =
+      Array.map
+        (fun b -> Array.of_list (List.rev !(Hashtbl.find groups b)))
+        blocks;
+  }
+
+(* Materialize a spec's [choices] from per-block persisted counts:
+   count [c] for window block [j] keeps that block's first [c] window
+   writes (content = the [c]-th), count [0] falls back to the durable
+   prefix (or baseline). *)
+let choices_of w counts =
+  let m = Hashtbl.create 64 in
+  List.iter (fun (b, i) -> Hashtbl.replace m b i) w.durable_last;
+  Array.iteri
+    (fun j c -> if c > 0 then Hashtbl.replace m w.blocks.(j) w.groups.(j).(c - 1))
+    counts;
+  let l = Hashtbl.fold (fun b i acc -> (b, i) :: acc) m [] in
+  Array.of_list (List.sort compare l)
+
+(* Dedup key: the final content assignment. Two specs from different
+   windows that persist the same writes are one crash state. *)
+let key_of choices torn =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun (b, i) -> Buffer.add_string buf (Printf.sprintf "%d:%d;" b i))
+    choices;
+  (match torn with
+  | Some (i, len) -> Buffer.add_string buf (Printf.sprintf "T%d:%d" i len)
+  | None -> ());
+  Buffer.contents buf
+
+let enumerate ~seed ~max_states (r : recorded) =
+  let entries = r.entries in
+  let seen = Hashtbl.create 1024 in
+  let specs = ref [] in
+  let n_specs = ref 0 in
+  let add label choices torn =
+    if !n_specs < max_states then begin
+      let key = key_of choices torn in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        specs := { label; choices; torn } :: !specs;
+        incr n_specs
+      end
+    end
+  in
+  let half = ref 2048 in
+  if Array.length entries > 0 then
+    half := Bytes.length entries.(0).Wlog.w_data / 2;
+  let systematic w =
+    let counts = Array.make (Array.length w.blocks) 0 in
+    let full () = Array.iteri (fun j g -> counts.(j) <- Array.length g) w.groups in
+    let zero () = Array.fill counts 0 (Array.length counts) 0 in
+    (* Global prefixes: the classic in-order power cut, one state per
+       cut point. Walk the window in seq order, persisting one more
+       write each step. *)
+    zero ();
+    add (w.w_name ^ "/cut0") (choices_of w counts) None;
+    let seq_order =
+      (* (window position -> block slot) in global write order *)
+      let l = ref [] in
+      Array.iteri
+        (fun j g -> Array.iter (fun i -> l := (i, j) :: !l) g)
+        w.groups;
+      List.sort compare !l
+    in
+    List.iteri
+      (fun n (_, j) ->
+        counts.(j) <- counts.(j) + 1;
+        add (Printf.sprintf "%s/cut%d" w.w_name (n + 1)) (choices_of w counts) None)
+      seq_order;
+    (* Drop-tail: persist everything except the tail of one block's
+       writes — the reordered-commit shape (e.g. a journal payload
+       block lost while the later commit block made it). Plus a torn
+       variant where the first dropped write half-persisted. *)
+    Array.iteri
+      (fun j g ->
+        let k = Array.length g in
+        for kept = 0 to k - 1 do
+          full ();
+          counts.(j) <- kept;
+          let choices = choices_of w counts in
+          add
+            (Printf.sprintf "%s/drop blk %d w%d" w.w_name w.blocks.(j) kept)
+            choices None;
+          add
+            (Printf.sprintf "%s/torn blk %d w%d" w.w_name w.blocks.(j) kept)
+            choices
+            (Some (g.(kept), !half))
+        done)
+      w.groups
+  in
+  (* Barrier-honouring windows: one per sync-delimited epoch. *)
+  let windows = ref [] in
+  for e = 0 to r.n_epochs do
+    let w =
+      window_of entries
+        ~name:(Printf.sprintf "e%d" e)
+        ~in_durable:(fun en -> en.Wlog.w_epoch < e)
+        ~in_window:(fun en -> en.Wlog.w_epoch = e)
+    in
+    if Array.length w.blocks > 0 then windows := w :: !windows
+  done;
+  (* The write-back-cache window: a disk that acknowledged every sync
+     without flushing may reorder the whole log — the scenario the
+     paper's transactional checksum exists for. *)
+  let whole =
+    window_of entries ~name:"all"
+      ~in_durable:(fun _ -> false)
+      ~in_window:(fun _ -> true)
+  in
+  let windows = List.rev !windows @ [ whole ] in
+  List.iter systematic windows;
+  (* Seeded random per-block prefixes over the whole-log window top the
+     enumeration up to [max_states]. *)
+  if Array.length whole.blocks > 0 then begin
+    let rng = Prng.create (seed lxor 0xC4A54) in
+    let counts = Array.make (Array.length whole.blocks) 0 in
+    let attempts = ref 0 in
+    while !n_specs < max_states && !attempts < 16 * max_states do
+      incr attempts;
+      Array.iteri
+        (fun j g -> counts.(j) <- Prng.int rng (Array.length g + 1))
+        whole.groups;
+      let torn =
+        if Prng.int rng 4 = 0 then begin
+          (* Tear the first unpersisted write of one random block. *)
+          let j = Prng.int rng (Array.length whole.blocks) in
+          let g = whole.groups.(j) in
+          if counts.(j) < Array.length g then
+            Some (g.(counts.(j)), 1 + Prng.int rng (max 1 (!half * 2 - 1)))
+          else None
+        end
+        else None
+      in
+      add (Printf.sprintf "all/rand%d" !attempts) (choices_of whole counts) torn
+    done
+  end;
+  List.rev !specs
+
+(* ------------------------------------------------------------------ *)
+(* Check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocation-free substring scan (needle expected lowercase). *)
+let contains_sub ~needle hay =
+  let nlen = String.length needle and hlen = String.length hay in
+  let limit = hlen - nlen in
+  let rec matches i j =
+    j = nlen || (hay.[i + j] = needle.[j] && matches i (j + 1))
+  in
+  let rec at i = i <= limit && (matches i 0 || at (i + 1)) in
+  nlen = 0 || at 0
+
+type outcome = { viol : (kind * string) option; tc : bool }
+
+(* Per-domain scratch COW device, reused across states (restore is
+   O(blocks the previous state dirtied)). *)
+let scratch_slot : (int * Cow.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scratch ~params =
+  let slot = Domain.DLS.get scratch_slot in
+  match !slot with
+  | Some (nb, c) when nb = params.Memdisk.num_blocks -> c
+  | Some _ | None ->
+      let c = Cow.create ~params () in
+      Cow.set_time_model c false;
+      slot := Some (params.Memdisk.num_blocks, c);
+      c
+
+let check_state ~params ~brand ~fsck (r : recorded) spec =
+  let cow = scratch ~params in
+  Cow.restore cow r.baseline;
+  Array.iter
+    (fun (b, i) -> Cow.poke cow b r.entries.(i).Wlog.w_data)
+    spec.choices;
+  (match spec.torn with
+  | None -> ()
+  | Some (i, len) ->
+      let e = r.entries.(i) in
+      let cur = Cow.peek cow e.Wlog.w_block in
+      let len = min len (Bytes.length e.Wlog.w_data) in
+      Bytes.blit e.Wlog.w_data 0 cur 0 len;
+      Cow.poke cow e.Wlog.w_block cur);
+  let dev = Cow.dev cow in
+  (* Power is back: remount and hold the invariants up to the light. *)
+  match (try `Mounted (Fs.mount brand dev) with Klog.Panic m -> `Panic m) with
+  | `Panic m -> { viol = Some (Panic, "panic during recovery: " ^ m); tc = false }
+  | `Mounted (Error e) ->
+      { viol = Some (Unmountable, "mount: " ^ Errno.to_string e); tc = false }
+  | `Mounted (Ok (Fs.Boxed ((module F), t))) -> (
+      let tc =
+        List.exists
+          (fun (en : Klog.entry) ->
+            contains_sub ~needle:"checksum mismatch"
+              (String.lowercase_ascii en.Klog.message))
+          (Klog.entries (F.klog t))
+      in
+      try
+        let missing = ref None in
+        List.iter
+          (fun (path, want) ->
+            if !missing = None then
+              match F.open_ t path Fs.Rd with
+              | Error e ->
+                  missing := Some (path ^ ": open " ^ Errno.to_string e)
+              | Ok fd ->
+                  (match F.read t fd ~off:0 ~len:(String.length want) with
+                  | Ok got when Bytes.to_string got = want -> ()
+                  | Ok _ -> missing := Some (path ^ ": content mismatch")
+                  | Error e ->
+                      missing := Some (path ^ ": read " ^ Errno.to_string e));
+                  ignore (F.close t fd))
+          r.durable;
+        match !missing with
+        | Some d -> { viol = Some (Data_loss, d); tc }
+        | None -> (
+            match F.unmount t with
+            | Error e ->
+                { viol = Some (Unmountable, "unmount: " ^ Errno.to_string e); tc }
+            | Ok () ->
+                if not fsck then { viol = None; tc }
+                else (
+                  match Iron_ext3.Fsck.run dev with
+                  | Error e ->
+                      {
+                        viol = Some (Fsck_unclean, "fsck: " ^ Errno.to_string e);
+                        tc;
+                      }
+                  | Ok rep ->
+                      if rep.Iron_ext3.Fsck.clean then { viol = None; tc }
+                      else
+                        let first =
+                          match
+                            List.find_opt
+                              (fun f -> f.Iron_ext3.Fsck.severity = `Error)
+                              rep.Iron_ext3.Fsck.findings
+                          with
+                          | Some f -> f.Iron_ext3.Fsck.message
+                          | None -> "errors"
+                        in
+                        { viol = Some (Fsck_unclean, first); tc }))
+      with Klog.Panic m ->
+        { viol = Some (Panic, "panic while checking: " ^ m); tc })
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
+    ?(durable_files = 4) ?(racing_files = 4) ?obs brand =
+  let params =
+    { Memdisk.default_params with Memdisk.num_blocks; seed = seed lxor 0x1207 }
+  in
+  let in_span name f =
+    match obs with
+    | None -> f ()
+    | Some o -> Obs.span o ~subsystem:"crash" name f
+  in
+  let fs = Fs.brand_name brand in
+  (* The ext3 family gets the offline cross-check too. *)
+  let fsck = fs = "ext3" || fs = "ixt3" in
+  let recorded =
+    in_span "record" (fun () -> record ~params ~durable_files ~racing_files brand)
+  in
+  let specs =
+    in_span "enumerate" (fun () -> enumerate ~seed ~max_states recorded)
+  in
+  let outcomes =
+    in_span "check" (fun () ->
+        Pool.map_jobs ~jobs
+          (fun spec -> check_state ~params ~brand ~fsck recorded spec)
+          specs)
+  in
+  let violations =
+    List.filter_map
+      (fun (spec, o) ->
+        Option.map
+          (fun (k, detail) -> { state = spec.label; v_kind = k; detail })
+          o.viol)
+      (List.combine specs outcomes)
+  in
+  let tc_detected =
+    List.fold_left (fun n o -> if o.tc then n + 1 else n) 0 outcomes
+  in
+  let states = List.length specs in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      Obs.add o "crash.states_explored" states;
+      Obs.add o "crash.violations" (List.length violations);
+      Obs.add o "crash.tc_detected" tc_detected;
+      List.iter
+        (fun v ->
+          Obs.incr o ("crash.violation." ^ kind_to_string v.v_kind))
+        violations);
+  {
+    fs;
+    log_len = Array.length recorded.entries;
+    rep_epochs = recorded.n_epochs;
+    states;
+    violations;
+    tc_detected;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%s: %d crash states (log: %d writes, %d epochs) -> %d violations \
+     (unmountable %d, data-loss %d, fsck %d, panic %d), Tc detections %d"
+    r.fs r.states r.log_len r.rep_epochs
+    (List.length r.violations)
+    (count r Unmountable) (count r Data_loss) (count r Fsck_unclean)
+    (count r Panic) r.tc_detected;
+  let shown = ref 0 in
+  List.iter
+    (fun v ->
+      if !shown < 5 then begin
+        incr shown;
+        Format.fprintf fmt "@.  [%s] %s: %s" (kind_to_string v.v_kind) v.state
+          v.detail
+      end)
+    r.violations;
+  if List.length r.violations > 5 then
+    Format.fprintf fmt "@.  ... and %d more" (List.length r.violations - 5)

@@ -1,0 +1,79 @@
+(** Crash-state exploration: systematic enumeration of the disk states
+    a power cut could leave behind, in the style of bounded black-box
+    crash testing (CrashMonkey / B3).
+
+    The old power-cut suite modelled a crash as an in-order prefix of
+    the write stream ([Fault.After n]). Real disks are weaker: within
+    a sync-delimited epoch they may persist {e any subset} of the
+    issued writes (respecting per-block write order), may tear a block
+    in half, and a write-back cache that acknowledges syncs without
+    flushing extends that reorder window across the whole run. The
+    transactional-checksum feature (Tc, paper §6.1) exists precisely
+    because of this: a commit block that "arrives" before its payload
+    turns journal replay into garbage unless the mismatch is detected.
+
+    The explorer:
+
+    + records a racing workload through a {!Wlog} device on top of a
+      {!Iron_disk.Cow} overlay (durable, fsync'd files are created
+      {e before} recording starts);
+    + enumerates crash-state specs per reorder window — every
+      sync-delimited epoch (barriers honoured) plus the whole log
+      (write-back cache that lied about every sync). Within a window:
+      global prefixes, per-block dropped write tails, torn variants of
+      the first dropped write, and seeded random per-block prefixes,
+      deduplicated by final disk content, bounded by [max_states];
+    + materializes each state cheaply: O(dirty) [Cow.restore] of the
+      base image plus one poke per chosen block, then remounts and
+      checks invariants — the volume mounts, no panic during recovery,
+      every durable file intact, and (ext3 family) [Fsck.run] clean.
+
+    The run fans out over {!Iron_util.Pool} with one COW scratch per
+    worker domain; the report is byte-identical for any [jobs]. *)
+
+type kind = Unmountable | Data_loss | Fsck_unclean | Panic
+
+val kind_to_string : kind -> string
+
+type violation = {
+  state : string;  (** which crash state, e.g. ["all/drop blk 301 w1"] *)
+  v_kind : kind;
+  detail : string;
+}
+
+type report = {
+  fs : string;
+  log_len : int;  (** recorded writes in the crash window *)
+  rep_epochs : int;  (** sync-delimited epochs in the log *)
+  states : int;  (** distinct crash states materialized and checked *)
+  violations : violation list;
+  tc_detected : int;
+      (** states where recovery refused a transaction on a
+          transactional-checksum mismatch — the detections Tc buys *)
+}
+
+val count : report -> kind -> int
+(** Violations of one kind. *)
+
+val explore :
+  ?jobs:int ->
+  ?seed:int ->
+  ?max_states:int ->
+  ?num_blocks:int ->
+  ?durable_files:int ->
+  ?racing_files:int ->
+  ?obs:Iron_obs.Obs.t ->
+  Iron_vfs.Fs.brand ->
+  report
+(** [explore brand] runs the whole pipeline. Defaults: [jobs = 1],
+    [seed = 7], [max_states = 1000] (systematic states first, seeded
+    random per-block prefixes top up to the bound), [num_blocks =
+    2048], [durable_files = 4], [racing_files = 4]. With [~obs] the
+    run bumps [crash.states_explored], [crash.violations],
+    [crash.tc_detected] and per-kind counters, and wraps the phases in
+    [crash.*] spans. Deterministic: the report is a pure function of
+    [(brand, seed, max_states, num_blocks, durable_files,
+    racing_files)] — [jobs] cannot change it. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One summary line plus the first few violations. *)

@@ -17,9 +17,12 @@ let rule ?(persistence = Sticky) target kind = { target; kind; persistence }
 type armed = {
   id : int;
   r : rule;
-  mutable count : int;
+  mutable count : int; (* committed injections; see [commit_firing] *)
   mutable seen : int; (* matching accesses, fired or not (for [After]) *)
-  mutable cleared : bool;
+  cleared : (int, unit) Hashtbl.t;
+      (* [Until_write] only: blocks whose sector has been successfully
+         rewritten — the drive remapped {e that} sector, the rest of
+         the rule's target keeps failing (§2.3.3). *)
 }
 type rule_id = int
 
@@ -35,8 +38,9 @@ type event = {
 
 type t = {
   below : Iron_disk.Dev.t;
-  mutable rules : armed list;
+  mutable rules : armed list; (* in arm order: oldest rule first *)
   mutable next_id : int;
+  retired : (int, int) Hashtbl.t; (* fired counts of disarmed rules *)
   mutable classifier : int -> string;
   events : event Iron_obs.Ring.t; (* oldest first, bounded *)
   mutable seq : int;
@@ -51,6 +55,7 @@ let create ?obs ?(trace_cap = default_trace_cap) below =
     below;
     rules = [];
     next_id = 0;
+    retired = Hashtbl.create 8;
     classifier = (fun _ -> "?");
     events = Iron_obs.Ring.create trace_cap;
     seq = 0;
@@ -58,19 +63,40 @@ let create ?obs ?(trace_cap = default_trace_cap) below =
     obs;
   }
 
+(* Rules are kept in arm order (oldest first) so the hot-path matcher
+   walks [t.rules] directly — the old newest-first list needed a
+   [List.rev] allocation on every single I/O. Arming is the rare
+   operation, so it pays the O(rules) append. *)
 let arm t r =
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.rules <- { id; r; count = 0; seen = 0; cleared = false } :: t.rules;
+  t.rules <- t.rules @ [ { id; r; count = 0; seen = 0; cleared = Hashtbl.create 4 } ];
   id
 
-let disarm t id = t.rules <- List.filter (fun a -> a.id <> id) t.rules
-let disarm_all t = t.rules <- []
+(* Disarming retires the rule's fired count instead of dropping it:
+   callers routinely tear the rule down and then ask how often it
+   bit. *)
+let retire t a = Hashtbl.replace t.retired a.id a.count
+
+let disarm t id =
+  t.rules <-
+    List.filter
+      (fun a ->
+        if a.id = id then begin
+          retire t a;
+          false
+        end
+        else true)
+      t.rules
+
+let disarm_all t =
+  List.iter (retire t) t.rules;
+  t.rules <- []
 
 let fired t id =
   match List.find_opt (fun a -> a.id = id) t.rules with
   | Some a -> a.count
-  | None -> 0
+  | None -> ( match Hashtbl.find_opt t.retired id with Some n -> n | None -> 0)
 
 let set_classifier t f = t.classifier <- f
 let trace t = Iron_obs.Ring.to_list t.events
@@ -90,40 +116,45 @@ let matches_dir kind dir =
   | Fail_read, Read | Corrupt _, Read | Fail_write, Write -> true
   | Fail_read, Write | Corrupt _, Write | Fail_write, Read -> false
 
-(* Find the first armed rule matching this access and consume one firing
-   (respecting [Transient] budgets). *)
+(* Find the first armed rule matching this access. The decision is
+   {e tentative}: nothing is charged against the rule's budget here.
+   The caller commits the firing (via [commit_firing]) only once the
+   injection actually happens — for [Fail_read]/[Fail_write] that is
+   immediate, but a [Corrupt] rule whose underlying read then fails
+   has injected nothing, and must neither bump [fired] nor consume a
+   [Transient] budget. ([seen] still counts every matching access:
+   that is exactly what [After n]'s dormancy is defined over.) *)
 let firing t dir block =
   let rec go = function
     | [] -> None
     | a :: rest ->
-        if (not a.cleared)
-           && matches_target a.r.target block
+        if matches_target a.r.target block
            && matches_dir a.r.kind dir
+           && not
+                (a.r.persistence = Until_write && Hashtbl.mem a.cleared block)
         then begin
           a.seen <- a.seen + 1;
           match a.r.persistence with
-          | Sticky | Until_write ->
-              a.count <- a.count + 1;
-              Some a.r.kind
-          | Transient n when a.count < n ->
-              a.count <- a.count + 1;
-              Some a.r.kind
-          | After n when a.seen > n ->
-              a.count <- a.count + 1;
-              Some a.r.kind
+          | Sticky | Until_write -> Some a
+          | Transient n when a.count < n -> Some a
+          | After n when a.seen > n -> Some a
           | Transient _ | After _ -> go rest
         end
         else go rest
   in
-  go (List.rev t.rules) (* oldest rule wins, deterministically *)
+  go t.rules (* oldest rule wins, deterministically *)
 
-(* A successful write remaps the sector: read faults marked
-   [Until_write] on that block stop firing. *)
+let commit_firing a = a.count <- a.count + 1
+
+(* A successful write remaps {e that} sector: read faults marked
+   [Until_write] covering the block stop firing for the block alone.
+   The rest of a [Range]/[Blocks]/[Whole_disk] target keeps failing —
+   one remapped sector does not heal a whole media scratch. *)
 let clear_on_write t block =
   List.iter
     (fun a ->
       if a.r.persistence = Until_write && matches_target a.r.target block then
-        a.cleared <- true)
+        Hashtbl.replace a.cleared block ())
     t.rules
 
 let record t dir block outcome =
@@ -183,21 +214,25 @@ let corrupt_block corruption data =
 
 let read t block =
   match firing t Read block with
-  | Some Fail_read ->
+  | Some ({ r = { kind = Fail_read; _ }; _ } as a) ->
+      commit_firing a;
       record_injection t Fail_read;
       record t Read block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
-  | Some (Corrupt c) -> (
+  | Some ({ r = { kind = Corrupt c; _ }; _ } as a) -> (
       match t.below.Iron_disk.Dev.read block with
       | Ok data ->
           corrupt_block c data;
+          commit_firing a;
           record_injection t (Corrupt c);
           record t Read block Io_corrupted;
           Ok data
       | Error e ->
+          (* The device failed underneath: nothing was injected, so the
+             rule neither fired nor consumed budget. *)
           record t Read block (Io_error e);
           Error e)
-  | Some Fail_write | None -> (
+  | Some { r = { kind = Fail_write; _ }; _ } | None -> (
       match t.below.Iron_disk.Dev.read block with
       | Ok _ as ok ->
           record t Read block Io_ok;
@@ -213,21 +248,23 @@ let read t block =
    above and below. *)
 let read_into t block buf =
   match firing t Read block with
-  | Some Fail_read ->
+  | Some ({ r = { kind = Fail_read; _ }; _ } as a) ->
+      commit_firing a;
       record_injection t Fail_read;
       record t Read block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
-  | Some (Corrupt c) -> (
+  | Some ({ r = { kind = Corrupt c; _ }; _ } as a) -> (
       match t.below.Iron_disk.Dev.read_into block buf with
       | Ok () ->
           corrupt_block c buf;
+          commit_firing a;
           record_injection t (Corrupt c);
           record t Read block Io_corrupted;
           Ok ()
       | Error e ->
           record t Read block (Io_error e);
           Error e)
-  | Some Fail_write | None -> (
+  | Some { r = { kind = Fail_write; _ }; _ } | None -> (
       match t.below.Iron_disk.Dev.read_into block buf with
       | Ok () as ok ->
           record t Read block Io_ok;
@@ -238,11 +275,12 @@ let read_into t block buf =
 
 let write t block data =
   match firing t Write block with
-  | Some Fail_write ->
+  | Some ({ r = { kind = Fail_write; _ }; _ } as a) ->
+      commit_firing a;
       record_injection t Fail_write;
       record t Write block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
-  | Some Fail_read | Some (Corrupt _) | None -> (
+  | Some { r = { kind = Fail_read | Corrupt _; _ }; _ } | None -> (
       match t.below.Iron_disk.Dev.write block data with
       | Ok () ->
           clear_on_write t block;

@@ -38,10 +38,16 @@ type kind =
 
 type persistence =
   | Sticky  (** the fault never goes away *)
-  | Transient of int  (** fires for the first [n] matching accesses only *)
+  | Transient of int
+      (** fires for the first [n] {e injections} only. An access where
+          nothing was injected (e.g. a [Corrupt] rule whose underlying
+          read failed) consumes no budget. *)
   | Until_write
-      (** read failures that clear once the block is successfully
-          rewritten — the drive remapping the sector (§2.3.3) *)
+      (** read failures that clear, {e block by block}, once the block
+          is successfully rewritten — the drive remapping that sector
+          (§2.3.3). Rewriting one sector of a [Range]/[Blocks]/
+          [Whole_disk] target stops the fault for that sector only;
+          the rest of the scratch keeps failing. *)
   | After of int
       (** dormant for the first [n] matching accesses, then permanent.
           [rule Whole_disk Fail_write ~persistence:(After n)] is a power
@@ -86,11 +92,19 @@ val dev : t -> Iron_disk.Dev.t
 type rule_id
 
 val arm : t -> rule -> rule_id
+(** Rules match in arm order: when several rules cover the same access,
+    the oldest armed rule wins, deterministically. Matching walks the
+    rule list in place — no per-I/O allocation. *)
+
 val disarm : t -> rule_id -> unit
 val disarm_all : t -> unit
 
 val fired : t -> rule_id -> int
-(** How many times the rule has matched an access so far. *)
+(** How many times the rule has actually injected its fault so far.
+    An access where nothing was injected (a [Corrupt] rule over a read
+    that failed underneath) does not count. Counts survive {!disarm} /
+    {!disarm_all}: tear-down then post-mortem is the normal calling
+    pattern. *)
 
 (** {2 Tracing} *)
 

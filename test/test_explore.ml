@@ -1,0 +1,167 @@
+(* The crash-state explorer and its write-log recorder.
+
+   The wlog suite pins the recorder's contract: epochs delimited by
+   effective syncs, private data copies, failed writes never logged,
+   and — the differential check — with recording off the device is
+   invisible: a fault-injector tracer below it sees a byte-identical
+   request stream and the final disk image matches a run without the
+   recorder in the stack.
+
+   The explore suite is the end-to-end story: ext3 without
+   transactional checksums replays reordered commits as garbage
+   (violations), ixt3 detects the mismatch and refuses (zero
+   violations, Tc detections), and the report is a pure function of
+   the seed — the worker count cannot change it. *)
+
+open Iron_disk
+module Fault = Iron_fault.Fault
+module Fs = Iron_vfs.Fs
+module Wlog = Iron_crash.Wlog
+module Explore = Iron_crash.Explore
+
+let check = Alcotest.check
+
+let params = { Memdisk.default_params with Memdisk.num_blocks = 512; seed = 21 }
+
+let make () =
+  let d = Memdisk.create ~params () in
+  Memdisk.set_time_model d false;
+  let w = Wlog.create (Memdisk.dev d) in
+  (d, w, Wlog.dev w)
+
+let block dev c = Bytes.make dev.Dev.block_size c
+
+(* --- wlog --------------------------------------------------------------- *)
+
+let test_epoch_accounting () =
+  let _, w, dev = make () in
+  Wlog.set_recording w true;
+  Dev.write_exn dev 1 (block dev 'a');
+  Dev.write_exn dev 2 (block dev 'b');
+  (match dev.Dev.sync () with Ok () -> () | Error _ -> Alcotest.fail "sync");
+  (* Back-to-back syncs must not mint empty epochs. *)
+  (match dev.Dev.sync () with Ok () -> () | Error _ -> Alcotest.fail "sync");
+  (match dev.Dev.sync () with Ok () -> () | Error _ -> Alcotest.fail "sync");
+  Dev.write_exn dev 1 (block dev 'c');
+  check Alcotest.int "one closed epoch" 1 (Wlog.epochs w);
+  check Alcotest.int "three writes" 3 (Wlog.length w);
+  let e = Wlog.entries w in
+  check Alcotest.int "first write epoch 0" 0 e.(0).Wlog.w_epoch;
+  check Alcotest.int "post-sync write epoch 1" 1 e.(2).Wlog.w_epoch;
+  check Alcotest.int "seq numbers in issue order" 2 e.(2).Wlog.w_seq;
+  Wlog.clear w;
+  check Alcotest.int "clear drops the log" 0 (Wlog.length w);
+  check Alcotest.int "clear resets epochs" 0 (Wlog.epochs w)
+
+let test_private_copies () =
+  let _, w, dev = make () in
+  Wlog.set_recording w true;
+  let buf = block dev 'x' in
+  Dev.write_exn dev 3 buf;
+  Bytes.fill buf 0 (Bytes.length buf) 'y';
+  let e = Wlog.entries w in
+  check Alcotest.bytes "log holds a frozen copy" (block dev 'x')
+    e.(0).Wlog.w_data
+
+let test_failed_writes_not_recorded () =
+  let d = Memdisk.create ~params () in
+  Memdisk.set_time_model d false;
+  let inj = Fault.create (Memdisk.dev d) in
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 7) Fault.Fail_write));
+  let w = Wlog.create (Fault.dev inj) in
+  let dev = Wlog.dev w in
+  Wlog.set_recording w true;
+  (match dev.Dev.write 7 (block dev 'z') with
+  | Error Dev.Eio -> ()
+  | _ -> Alcotest.fail "expected the injected write failure");
+  Dev.write_exn dev 8 (block dev 'k');
+  check Alcotest.int "only the successful write is logged" 1 (Wlog.length w);
+  check Alcotest.int "and it is block 8" 8 (Wlog.entries w).(0).Wlog.w_block
+
+let test_recording_off_logs_nothing () =
+  let _, w, dev = make () in
+  Dev.write_exn dev 1 (block dev 'a');
+  (match dev.Dev.sync () with Ok () -> () | Error _ -> Alcotest.fail "sync");
+  check Alcotest.int "nothing logged" 0 (Wlog.length w);
+  check Alcotest.int "no epochs" 0 (Wlog.epochs w)
+
+(* The differential: mount ext3 and run the standard fixture twice on
+   identical disks — once with the (non-recording) wlog in the stack,
+   once without. A tracing fault injector below both must observe the
+   same request stream, and the final images must match byte for
+   byte. *)
+let test_invisible_when_off () =
+  let run ~with_wlog =
+    let d = Memdisk.create ~params () in
+    Memdisk.set_time_model d false;
+    let inj = Fault.create (Memdisk.dev d) in
+    let below = Fault.dev inj in
+    let dev =
+      if with_wlog then Wlog.dev (Wlog.create below) else below
+    in
+    (match Fs.mkfs Iron_ext3.Ext3.std dev with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "mkfs");
+    (match Fs.mount Iron_ext3.Ext3.std dev with
+    | Ok (Fs.Boxed ((module F), t) as boxed) ->
+        (match Iron_core.Workload.fixture boxed with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "fixture");
+        (match F.sync t with Ok () -> () | Error _ -> Alcotest.fail "sync");
+        ignore (F.unmount t)
+    | Error _ -> Alcotest.fail "mount");
+    (Fault.trace inj, List.init params.Memdisk.num_blocks (Memdisk.peek d))
+  in
+  let trace_ref, image_ref = run ~with_wlog:false in
+  let trace_w, image_w = run ~with_wlog:true in
+  check Alcotest.int "same number of device requests" (List.length trace_ref)
+    (List.length trace_w);
+  check Alcotest.bool "request streams identical" true (trace_ref = trace_w);
+  check Alcotest.bool "final images identical" true
+    (List.for_all2 Bytes.equal image_ref image_w)
+
+(* --- explore ------------------------------------------------------------ *)
+
+let test_ext3_vs_ixt3 () =
+  (* The paper's §6.1 story, end to end: a reorder window that keeps
+     the commit block but drops journal payload makes vanilla ext3
+     replay stale bytes over live metadata; ixt3's transactional
+     checksum spots the mismatch and refuses the transaction. *)
+  let e3 = Explore.explore ~jobs:2 ~max_states:400 Iron_ext3.Ext3.std in
+  let ix = Explore.explore ~jobs:2 ~max_states:400 Iron_ext3.Ext3.ixt3 in
+  check Alcotest.bool "hundreds of distinct states (ext3)" true (e3.Explore.states >= 300);
+  check Alcotest.bool "hundreds of distinct states (ixt3)" true (ix.Explore.states >= 300);
+  check Alcotest.bool "ext3 has crash-consistency violations" true
+    (e3.Explore.violations <> []);
+  check Alcotest.int "ext3 has no Tc to detect with" 0 e3.Explore.tc_detected;
+  check Alcotest.int "ixt3 survives every crash state" 0
+    (List.length ix.Explore.violations);
+  check Alcotest.bool "ixt3's Tc refused reordered commits" true
+    (ix.Explore.tc_detected >= 1)
+
+let test_jobs_deterministic () =
+  let r1 = Explore.explore ~jobs:1 ~max_states:120 Iron_ext3.Ext3.std in
+  let r3 = Explore.explore ~jobs:3 ~max_states:120 Iron_ext3.Ext3.std in
+  check Alcotest.bool "report is a pure function of the seed" true (r1 = r3)
+
+let suites =
+  [
+    ( "crash.wlog",
+      [
+        Alcotest.test_case "epoch accounting" `Quick test_epoch_accounting;
+        Alcotest.test_case "private data copies" `Quick test_private_copies;
+        Alcotest.test_case "failed writes not recorded" `Quick
+          test_failed_writes_not_recorded;
+        Alcotest.test_case "recording off logs nothing" `Quick
+          test_recording_off_logs_nothing;
+        Alcotest.test_case "invisible when off (differential)" `Quick
+          test_invisible_when_off;
+      ] );
+    ( "crash.explore",
+      [
+        Alcotest.test_case "ext3 corrupts, ixt3 detects (Tc)" `Slow
+          test_ext3_vs_ixt3;
+        Alcotest.test_case "-j cannot change the report" `Slow
+          test_jobs_deterministic;
+      ] );
+  ]

@@ -164,6 +164,183 @@ let test_trace_clear_and_toggle () =
   ignore (dev.Dev.read 0);
   check Alcotest.int "tracing off" 0 (List.length (Fault.trace inj))
 
+(* --- semantics regressions ---------------------------------------------
+
+   Four injector bugs found while building the crash-state explorer,
+   each pinned by a test that failed on the old implementation:
+
+   1. [Until_write] cleared the whole rule on the first successful
+      write anywhere in its target; a remapped sector must heal only
+      its own block.
+   2. [firing] charged a [Corrupt] rule's budget (and [fired] count)
+      even when the read below failed and nothing was injected.
+   3. [fired] forgot the count once the rule was disarmed.
+   4. [firing] rebuilt [List.rev t.rules] on every I/O (perf; pinned
+      here only by the arm-order determinism check). *)
+
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4217 |]) t
+
+let test_until_write_per_block () =
+  let _, inj, dev = make () in
+  ignore
+    (Fault.arm inj
+       (Fault.rule ~persistence:Fault.Until_write (Fault.Range (10, 13))
+          Fault.Fail_read));
+  for b = 10 to 13 do
+    match dev.Dev.read b with
+    | Error Dev.Eio -> ()
+    | _ -> Alcotest.fail "latent error should fire"
+  done;
+  (* Rewrite one sector: the drive remaps that sector only. *)
+  Dev.write_exn dev 11 (block dev 'w');
+  (match dev.Dev.read 11 with
+  | Ok data -> check Alcotest.bytes "remapped block reads back" (block dev 'w') data
+  | Error _ -> Alcotest.fail "written block must be healed");
+  List.iter
+    (fun b ->
+      match dev.Dev.read b with
+      | Error Dev.Eio -> ()
+      | _ -> Alcotest.failf "block %d must keep failing after unrelated write" b)
+    [ 10; 12; 13 ]
+
+let test_corrupt_budget_survives_device_error () =
+  (* Stack two injectors: the lower one makes the medium itself fail
+     the first two reads, the upper one holds a Transient-2 corruption.
+     The corruption must inject exactly twice, regardless of how many
+     matching reads died below it. *)
+  let d =
+    Memdisk.create
+      ~params:{ Memdisk.default_params with Memdisk.num_blocks = 64; seed = 9 }
+      ()
+  in
+  let lo = Fault.create (Memdisk.dev d) in
+  let hi = Fault.create (Fault.dev lo) in
+  let dev = Fault.dev hi in
+  Dev.write_exn dev 5 (block dev 'v');
+  ignore
+    (Fault.arm lo
+       (Fault.rule ~persistence:(Fault.Transient 2) (Fault.Block 5) Fault.Fail_read));
+  let id =
+    Fault.arm hi
+      (Fault.rule ~persistence:(Fault.Transient 2) (Fault.Block 5)
+         (Fault.Corrupt (Fault.Noise 1)))
+  in
+  (* Two reads fail below: no injection, no budget consumed. *)
+  (match dev.Dev.read 5 with Error Dev.Eio -> () | _ -> Alcotest.fail "1st");
+  (match dev.Dev.read 5 with Error Dev.Eio -> () | _ -> Alcotest.fail "2nd");
+  check Alcotest.int "no injections charged yet" 0 (Fault.fired hi id);
+  (* Medium healed: the corruption budget is still whole. *)
+  (match dev.Dev.read 5 with
+  | Ok data ->
+      check Alcotest.bool "3rd read corrupted" true
+        (not (Bytes.equal data (block dev 'v')))
+  | Error _ -> Alcotest.fail "3rd");
+  (match dev.Dev.read 5 with
+  | Ok data ->
+      check Alcotest.bool "4th read corrupted" true
+        (not (Bytes.equal data (block dev 'v')))
+  | Error _ -> Alcotest.fail "4th");
+  check Alcotest.int "exactly two injections" 2 (Fault.fired hi id);
+  match dev.Dev.read 5 with
+  | Ok data -> check Alcotest.bytes "budget spent: clean read" (block dev 'v') data
+  | Error _ -> Alcotest.fail "5th"
+
+let test_fired_survives_disarm () =
+  let _, inj, dev = make () in
+  let id = Fault.arm inj (Fault.rule (Fault.Block 7) Fault.Fail_read) in
+  for _ = 1 to 3 do
+    ignore (dev.Dev.read 7)
+  done;
+  Fault.disarm inj id;
+  check Alcotest.int "count retained after disarm" 3 (Fault.fired inj id);
+  let id2 = Fault.arm inj (Fault.rule (Fault.Block 8) Fault.Fail_read) in
+  ignore (dev.Dev.read 8);
+  Fault.disarm_all inj;
+  check Alcotest.int "count retained after disarm_all" 1 (Fault.fired inj id2)
+
+let test_arm_order_wins () =
+  (* Two rules match the same block: the one armed first decides, and
+     disarming it promotes the second — the deterministic order the
+     allocation-free matcher must preserve. *)
+  let _, inj, dev = make () in
+  Dev.write_exn dev 9 (block dev 'k');
+  let first = Fault.arm inj (Fault.rule (Fault.Block 9) Fault.Fail_read) in
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 9) (Fault.Corrupt Fault.Zeroes)));
+  (match dev.Dev.read 9 with
+  | Error Dev.Eio -> ()
+  | _ -> Alcotest.fail "oldest rule must win");
+  Fault.disarm inj first;
+  match dev.Dev.read 9 with
+  | Ok data -> check Alcotest.bytes "second rule now fires" (block dev '\000') data
+  | Error _ -> Alcotest.fail "read"
+
+let prop_until_write_per_block =
+  QCheck.Test.make ~count:50 ~name:"Until_write heals exactly the written blocks"
+    QCheck.(
+      pair (int_range 0 20)
+        (small_list (int_range 0 30)))
+    (fun (lo, writes) ->
+      let hi = lo + 9 in
+      let _, inj, dev = make () in
+      ignore
+        (Fault.arm inj
+           (Fault.rule ~persistence:Fault.Until_write (Fault.Range (lo, hi))
+              Fault.Fail_read));
+      List.iter (fun b -> ignore (dev.Dev.write b (block dev 'q'))) writes;
+      let healed b = List.mem b writes in
+      List.for_all
+        (fun b ->
+          match dev.Dev.read b with
+          | Ok _ -> healed b
+          | Error _ -> not (healed b))
+        (List.init (hi - lo + 1) (fun i -> lo + i)))
+
+let prop_transient_exact_injections =
+  QCheck.Test.make ~count:50
+    ~name:"Transient n = exactly n injections despite device errors"
+    QCheck.(pair (int_range 0 4) (int_range 0 4))
+    (fun (n, below_fails) ->
+      let d =
+        Memdisk.create
+          ~params:{ Memdisk.default_params with Memdisk.num_blocks = 16; seed = 9 }
+          ()
+      in
+      let lo = Fault.create (Memdisk.dev d) in
+      let hi = Fault.create (Fault.dev lo) in
+      let dev = Fault.dev hi in
+      ignore (dev.Dev.write 3 (block dev 'u'));
+      if below_fails > 0 then
+        ignore
+          (Fault.arm lo
+             (Fault.rule ~persistence:(Fault.Transient below_fails) (Fault.Block 3)
+                Fault.Fail_read));
+      let id =
+        Fault.arm hi
+          (Fault.rule ~persistence:(Fault.Transient n) (Fault.Block 3)
+             (Fault.Corrupt (Fault.Noise 2)))
+      in
+      for _ = 1 to below_fails + n + 3 do
+        ignore (dev.Dev.read 3)
+      done;
+      Fault.fired hi id = n
+      && (* after the budget, reads are clean again *)
+      match dev.Dev.read 3 with
+      | Ok data -> Bytes.equal data (block dev 'u')
+      | Error _ -> false)
+
+let prop_fired_stable_across_disarm =
+  QCheck.Test.make ~count:50 ~name:"fired is stable across disarm"
+    QCheck.(int_range 0 10)
+    (fun hits ->
+      let _, inj, dev = make () in
+      let id = Fault.arm inj (Fault.rule (Fault.Block 2) Fault.Fail_read) in
+      for _ = 1 to hits do
+        ignore (dev.Dev.read 2)
+      done;
+      let before = Fault.fired inj id in
+      Fault.disarm inj id;
+      before = hits && Fault.fired inj id = hits)
+
 let suites =
   [
     ( "fault.inject",
@@ -181,5 +358,18 @@ let suites =
         Alcotest.test_case "fired counter / disarm" `Quick test_fired_counter_and_disarm;
         Alcotest.test_case "trace records outcomes" `Quick test_trace_records_outcomes;
         Alcotest.test_case "trace clear and toggle" `Quick test_trace_clear_and_toggle;
+      ] );
+    ( "fault.semantics",
+      [
+        Alcotest.test_case "Until_write heals per block" `Quick
+          test_until_write_per_block;
+        Alcotest.test_case "Corrupt budget survives device errors" `Quick
+          test_corrupt_budget_survives_device_error;
+        Alcotest.test_case "fired survives disarm" `Quick test_fired_survives_disarm;
+        Alcotest.test_case "arm order wins deterministically" `Quick
+          test_arm_order_wins;
+        qtest prop_until_write_per_block;
+        qtest prop_transient_exact_injections;
+        qtest prop_fired_stable_across_disarm;
       ] );
   ]
