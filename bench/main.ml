@@ -20,12 +20,18 @@
    Run with no arguments for everything, or name the experiments.
 
    Options:
-     -j N         worker domains for campaign/variant fan-out
-     --json FILE  append machine-readable {experiment, wall_s, jobs,
-                  workers, metrics} records for the run (perf trajectory
-                  across PRs; see BENCH_fingerprint.json). [metrics] holds
-                  the counters of the experiment's observed campaign when
-                  it ran one (obs-overhead does), else {}. *)
+     -j N          worker domains for campaign/variant fan-out
+     --json FILE   write the run as a versioned golden-schema bench
+                   artifact (Iron_report.Report, kind "bench"): one
+                   record per experiment with {experiment, wall_ms,
+                   jobs, workers, metrics}. [metrics] holds the counters
+                   the experiment stashed (obs-overhead's campaign
+                   registry, the microbench gauges), else {}. See
+                   BENCH_fingerprint.json for the committed trajectory.
+     --check FILE  evaluate a committed bench-thresholds artifact
+                   (golden/bench-thresholds.json) against this run's
+                   metrics and exit 1 on any violation — the native
+                   replacement for CI's old inline assertions. *)
 
 module Driver = Iron_core.Driver
 module Render = Iron_core.Render
@@ -542,36 +548,67 @@ type record = {
 (* Counters only: histograms carry bucket arrays that would swamp the
    perf-trajectory file; the full registry is what --metrics (on the
    iron CLI) is for. *)
-let json_metrics snap =
-  let counters =
-    List.filter_map
-      (function
-        | p, Iron_obs.Obs.Counter n -> Some (Printf.sprintf "%S: %d" p n)
-        | _, (Iron_obs.Obs.Gauge _ | Iron_obs.Obs.Histogram _) -> None)
-      snap
-  in
-  "{" ^ String.concat ", " counters ^ "}"
+let counter_metrics snap =
+  List.filter_map
+    (function
+      | p, Iron_obs.Obs.Counter n -> Some (p, n)
+      | _, (Iron_obs.Obs.Gauge _ | Iron_obs.Obs.Histogram _) -> None)
+    snap
+
+module Report = Iron_report.Report
+
+let bench_artifact records =
+  Report.bench_of_records
+    (List.map
+       (fun r ->
+         {
+           Report.experiment = r.experiment;
+           wall_ms = int_of_float (r.wall_s *. 1000.);
+           b_jobs = r.jobs;
+           b_workers = r.rec_workers;
+           metrics = counter_metrics r.metrics;
+         })
+       records)
 
 let write_json file records =
-  let oc = open_out file in
-  output_string oc "[\n";
-  let n = List.length records in
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "  {\"experiment\": %S, \"wall_s\": %.3f, \"jobs\": %d, \"workers\": %d, \"metrics\": %s}%s\n"
-        r.experiment r.wall_s r.jobs r.rec_workers (json_metrics r.metrics)
-        (if i < n - 1 then "," else ""))
-    records;
-  output_string oc "]\n";
-  close_out oc;
-  Printf.eprintf "wrote %d perf record%s to %s\n%!" n
-    (if n = 1 then "" else "s")
-    file
+  Report.save file (bench_artifact records);
+  Printf.eprintf "wrote %d bench record%s to %s (schema v%d)\n%!"
+    (List.length records)
+    (if List.length records = 1 then "" else "s")
+    file Report.schema_version
+
+(* --check FILE: the native replacement for CI's inline assertions.
+   Loads a committed bench-thresholds artifact and evaluates every rule
+   against the union of this run's stashed metrics. *)
+let check_thresholds file records =
+  match Report.load file with
+  | Error e ->
+      Printf.eprintf "bench --check: %s\n" e;
+      exit 2
+  | Ok (Report.Thresholds th) -> (
+      match bench_artifact records with
+      | Report.Bench b -> (
+          match Report.check_thresholds th b with
+          | [] ->
+              Printf.printf "thresholds: all %d rule%s from %s hold\n"
+                (List.length th.Report.rules)
+                (if List.length th.Report.rules = 1 then "" else "s")
+                file
+          | items ->
+              Format.printf "threshold violations (%d):@.%a"
+                (List.length items) Report.pp_items items;
+              exit 1)
+      | _ -> assert false)
+  | Ok art ->
+      Printf.eprintf
+        "bench --check: %s is a %s artifact, expected bench-thresholds\n" file
+        (Report.kind_name art);
+      exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_file = ref None in
+  let check_file = ref None in
   let rec parse names = function
     | [] -> List.rev names
     | ("-j" | "--jobs") :: n :: rest ->
@@ -584,7 +621,10 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse names rest
-    | ("-j" | "--jobs" | "--json") :: [] ->
+    | "--check" :: file :: rest ->
+        check_file := Some file;
+        parse names rest
+    | ("-j" | "--jobs" | "--json" | "--check") :: [] ->
         Printf.eprintf "missing argument\n";
         exit 2
     | n :: rest -> parse (n :: names) rest
@@ -621,6 +661,9 @@ let () =
         })
       chosen
   in
-  match !json_file with
+  (match !json_file with
   | Some file -> write_json file records
+  | None -> ());
+  match !check_file with
+  | Some file -> check_thresholds file records
   | None -> ()

@@ -8,9 +8,13 @@
      iron robust                   detected-and-recovered counts
      iron stats                    observed campaign metrics table
      iron crash [FS]...            crash-state exploration (power cuts)
+     iron diff GOLDEN FRESH        compare artifact trees; exit 1 on drift
+     iron golden [--update]        regenerate / check golden/ artifacts
 
    fingerprint, robust and bench also take --trace FILE / --metrics FILE
-   to export Chrome-trace / JSONL views of the run ('-' = stdout). *)
+   to export Chrome-trace / JSONL views of the run ('-' = stdout);
+   fingerprint and crash take --out DIR to write versioned golden-schema
+   artifacts (Iron_report.Report) for the regression gate. *)
 
 open Cmdliner
 
@@ -77,6 +81,30 @@ let metrics_arg =
            ~doc:"Write the merged metrics registry as JSONL to $(docv) \
                  ('-' for stdout). Byte-identical for any -j.")
 
+(* --out DIR: write versioned golden-schema artifacts of the run. *)
+let out_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write the run's results as versioned golden-schema \
+                 artifacts (one canonical JSON file per file system) \
+                 into $(docv), for $(b,iron diff). The artifacts carry \
+                 only the deterministic outputs, so two runs with the \
+                 same seed produce byte-identical files.")
+
+(* mkdir -p, portably enough for artifact output directories. *)
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save_artifact dir art =
+  mkdir_p dir;
+  let path = Filename.concat dir (Iron_report.Report.filename art) in
+  Iron_report.Report.save path art
+
 let write_output path contents =
   match path with
   | "-" -> print_string contents
@@ -112,7 +140,7 @@ let pp_campaign_stats verbose report =
       Iron_core.Driver.pp_stats report.Iron_core.Driver.stats
 
 let fingerprint_cmd =
-  let run fses jobs seed verbose trace metrics =
+  let run fses jobs seed verbose trace metrics out =
     let observe = trace <> None || metrics <> None in
     let observed =
       List.filter_map
@@ -123,6 +151,10 @@ let fingerprint_cmd =
             (Iron_core.Driver.experiments_run report)
             (Iron_core.Driver.detected_and_recovered report);
           pp_campaign_stats verbose report;
+          (match out with
+          | None -> ()
+          | Some dir ->
+              save_artifact dir (Iron_report.Report.of_fingerprint ~seed report));
           Option.map
             (fun o -> (report.Iron_core.Driver.name, o))
             report.Iron_core.Driver.observed)
@@ -134,7 +166,7 @@ let fingerprint_cmd =
     (Cmd.info "fingerprint"
        ~doc:"Inject type-aware faults beneath a file system and print its failure-policy matrices (the paper's Figures 2 and 3).")
     Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ out_arg)
 
 let summary_cmd =
   let run jobs seed verbose =
@@ -294,7 +326,7 @@ let crash_cmd =
                    violation. Repeatable; used by CI to pin the \
                    transactional-checksum guarantee.")
   in
-  let run fses jobs seed states check trace metrics =
+  let run fses jobs seed states check trace metrics out =
     let observe = trace <> None || metrics <> None in
     let observed = ref [] in
     let failed = ref [] in
@@ -306,6 +338,11 @@ let crash_cmd =
         (match obs with
         | Some o -> observed := (r.Iron_crash.Explore.fs, o) :: !observed
         | None -> ());
+        (match out with
+        | None -> ()
+        | Some dir ->
+            save_artifact dir
+              (Iron_report.Report.of_crash ~seed ~max_states:states r));
         if
           List.mem r.Iron_crash.Explore.fs check
           && r.Iron_crash.Explore.violations <> []
@@ -342,7 +379,196 @@ let crash_cmd =
              transactional checksums replays reordered commits as \
              garbage; ixt3 detects the mismatch and refuses.")
     Term.(const run $ fs_args $ jobs_arg $ seed_arg $ states_arg $ check_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ out_arg)
+
+(* --- diff: the regression gate ---------------------------------------- *)
+
+module Report = Iron_report.Report
+
+let tol_arg =
+  Arg.(value
+       & opt float (100. *. Report.default_timing_tol)
+       & info [ "timing-tol" ] ~docv:"PCT"
+           ~doc:"Relative tolerance (percent) for timing-class bench \
+                 metrics; policy matrices and crash counts always \
+                 compare exactly.")
+
+let json_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+  |> List.sort compare
+
+(* Diff one golden file against one fresh file; returns the number of
+   differing cells (or exits 2 on load/compare errors). *)
+let diff_pair ~timing_tol label golden fresh =
+  let load path =
+    match Report.load path with
+    | Ok a -> a
+    | Error e ->
+        Format.eprintf "iron diff: %s@." e;
+        exit 2
+  in
+  match
+    Report.diff ~timing_tol:(timing_tol /. 100.) (load golden) (load fresh)
+  with
+  | Error e ->
+      Format.eprintf "iron diff: %s: %s@." label e;
+      exit 2
+  | Ok [] ->
+      Format.printf "ok   %s@." label;
+      0
+  | Ok items ->
+      Format.printf "DIFF %s (%d cell%s)@.%a" label (List.length items)
+        (if List.length items = 1 then "" else "s")
+        Report.pp_items items;
+      List.length items
+
+let diff_cmd =
+  let golden_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"GOLDEN" ~doc:"Golden artifact file or directory.")
+  in
+  let fresh_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FRESH" ~doc:"Fresh artifact file or directory.")
+  in
+  let run golden fresh timing_tol =
+    let fail msg =
+      Format.eprintf "iron diff: %s@." msg;
+      exit 2
+    in
+    let total =
+      match (Sys.is_directory golden, Sys.is_directory fresh) with
+      | exception Sys_error e -> fail e
+      | true, true ->
+          let g = json_files golden and f = json_files fresh in
+          let common = List.filter (fun n -> List.mem n g) f in
+          if common = [] then
+            fail
+              (Printf.sprintf "no artifact names in common between %s and %s"
+                 golden fresh);
+          List.iter
+            (fun n ->
+              if not (List.mem n g) then
+                Format.printf "note %s only in %s@." n fresh)
+            f;
+          List.fold_left
+            (fun acc n ->
+              acc
+              + diff_pair ~timing_tol n (Filename.concat golden n)
+                  (Filename.concat fresh n))
+            0 common
+      | false, false ->
+          diff_pair ~timing_tol (Filename.basename fresh) golden fresh
+      | true, false | false, true ->
+          fail "GOLDEN and FRESH must both be files or both be directories"
+    in
+    if total > 0 then begin
+      Format.printf "@.%d differing cell%s — fresh output drifted from golden@."
+        total
+        (if total = 1 then "" else "s");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare versioned artifacts (golden vs fresh): exact on \
+             failure-policy matrices and crash-exploration counts, \
+             tolerance-based on timing metrics, threshold evaluation when \
+             GOLDEN is a bench-thresholds artifact. Prints a cell-level \
+             report and exits 1 on any drift, 2 on unreadable or \
+             incomparable artifacts (including unknown schema versions).")
+    Term.(const run $ golden_arg $ fresh_arg $ tol_arg)
+
+(* --- golden: regenerate or check the committed artifacts --------------- *)
+
+let golden_fingerprint_fses = [ "ext3"; "reiserfs"; "jfs"; "ixt3" ]
+let golden_crash_fses = [ "ext3"; "ixt3" ]
+
+let golden_cmd =
+  let update_arg =
+    Arg.(value & flag
+         & info [ "update" ]
+             ~doc:"Regenerate the golden artifacts in place (after a \
+                   deliberate behavior change). Without this flag the \
+                   fresh run is checked against the committed artifacts, \
+                   exiting 1 on drift.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "golden"
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Golden artifact directory.")
+  in
+  let states_arg =
+    Arg.(value & opt int 1000
+         & info [ "states" ] ~docv:"N"
+             ~doc:"Crash-state bound (must match the committed artifacts).")
+  in
+  let run update dir jobs seed states =
+    let fresh = ref [] in
+    List.iter
+      (fun name ->
+        let brand = List.assoc name brands in
+        let r = Iron_core.Driver.fingerprint ~jobs ~seed brand in
+        fresh := Report.of_fingerprint ~seed r :: !fresh)
+      golden_fingerprint_fses;
+    List.iter
+      (fun name ->
+        let brand = List.assoc name brands in
+        let r =
+          Iron_crash.Explore.explore ~jobs ~seed ~max_states:states brand
+        in
+        fresh := Report.of_crash ~seed ~max_states:states r :: !fresh)
+      golden_crash_fses;
+    let fresh = List.rev !fresh in
+    if update then begin
+      List.iter (fun art -> save_artifact dir art) fresh;
+      Format.printf "wrote %d golden artifacts to %s/@." (List.length fresh) dir;
+      Format.printf
+        "(bench-thresholds.json is hand-maintained and left untouched)@."
+    end
+    else begin
+      let total =
+        List.fold_left
+          (fun acc art ->
+            let name = Report.filename art in
+            let path = Filename.concat dir name in
+            match Report.load path with
+            | Error e ->
+                Format.eprintf "iron golden: %s@." e;
+                exit 2
+            | Ok golden -> (
+                match Report.diff golden art with
+                | Error e ->
+                    Format.eprintf "iron golden: %s: %s@." name e;
+                    exit 2
+                | Ok [] ->
+                    Format.printf "ok   %s@." name;
+                    acc
+                | Ok items ->
+                    Format.printf "DIFF %s (%d cell%s)@.%a" name
+                      (List.length items)
+                      (if List.length items = 1 then "" else "s")
+                      Report.pp_items items;
+                    acc + List.length items))
+          0 fresh
+      in
+      if total > 0 then begin
+        Format.printf
+          "@.%d differing cell%s — run 'iron golden --update' only if the \
+           change is intended@."
+          total
+          (if total = 1 then "" else "s");
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "golden"
+       ~doc:"Regenerate (--update) or check the committed golden artifacts: \
+             fingerprint matrices for ext3/reiserfs/jfs/ixt3 and the \
+             ext3-vs-ixt3 crash-exploration asymmetry. The check is the \
+             same comparison CI's golden gate runs via $(b,iron diff).")
+    Term.(const run $ update_arg $ dir_arg $ jobs_arg $ seed_arg $ states_arg)
 
 let fsck_cmd =
   let run () =
@@ -385,4 +611,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd;
-            stats_cmd; scrub_cmd; crash_cmd; fsck_cmd ]))
+            stats_cmd; scrub_cmd; crash_cmd; fsck_cmd; diff_cmd; golden_cmd ]))

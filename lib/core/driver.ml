@@ -751,3 +751,18 @@ let detected_and_served report =
       then n + 1
       else n)
     0
+
+(* The deterministic counter set a golden artifact pins: everything a
+   campaign's spec + aggregator decide, nothing the executor's wall
+   clock or worker count can move. *)
+let counters report =
+  [
+    ("experiments_run", experiments_run report);
+    ("detected_and_recovered", detected_and_recovered report);
+    ("detected_and_served", detected_and_served report);
+    ("jobs_total", report.stats.jobs_total);
+    ("jobs_scheduled", report.stats.jobs_scheduled);
+    ("jobs_applicable", report.stats.jobs_applicable);
+    ("jobs_fired", report.stats.jobs_fired);
+    ("faults_fired", report.stats.faults_fired);
+  ]

@@ -133,3 +133,11 @@ val detected_and_served : report -> int
     the fault fired, was detected, and the workload still completed
     successfully — the failure was absorbed, not converted into a
     crash or an error. *)
+
+val counters : report -> (string * int) list
+(** The {e deterministic} campaign counters, as [(name, value)] pairs
+    in a fixed order: the three scenario counts above plus the spec /
+    executor counters from {!stats} — but never [stats.workers] or
+    [stats.wall_s], which reflect the execution rather than the
+    campaign. This is exactly the counter set a golden artifact
+    ({!Iron_report.Report}) pins. *)

@@ -1,6 +1,13 @@
 (** Text rendering of fingerprints: the Figure-2/3 matrices and the
     Table-5 technique summary. *)
 
+val cell_symbols : which:[ `Detection | `Recovery ] -> Driver.cell -> string
+(** The Figure-2 symbol string for one cell: ["."] when not applicable,
+    ["o"] when applicable but the fault never triggered, otherwise the
+    superimposed mechanism symbols ([" "] for an observed DZero/RZero).
+    Exposed so the golden-artifact layer ({!Iron_report.Report}) renders
+    cell-level diffs with the same vocabulary as the matrices. *)
+
 val pp_matrix :
   which:[ `Detection | `Recovery ] -> Format.formatter -> Driver.matrix -> unit
 (** One grid: rows are block types, columns are workloads a–t. Cell

@@ -1,0 +1,753 @@
+module Driver = Iron_core.Driver
+module Render = Iron_core.Render
+module Taxonomy = Iron_core.Taxonomy
+module Explore = Iron_crash.Explore
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type fp_cell = {
+  row : string;
+  col : string;
+  applicable : bool;
+  fired : int;
+  detection : string list;
+  recovery : string list;
+  note : string;
+  d_sym : string;
+  r_sym : string;
+}
+
+type fp_matrix = {
+  fault : string;
+  rows : string list;
+  cols : string list;
+  cells : fp_cell list;
+}
+
+type fingerprint = {
+  fp_fs : string;
+  fp_seed : int;
+  matrices : fp_matrix list;
+  counters : (string * int) list;
+}
+
+type crash_violation = { state : string; v_kind : string; detail : string }
+
+type crash = {
+  c_fs : string;
+  c_seed : int;
+  c_max_states : int;
+  log_len : int;
+  epochs : int;
+  states : int;
+  tc_detected : int;
+  kind_counts : (string * int) list;
+  violations : crash_violation list;
+}
+
+type bench_record = {
+  experiment : string;
+  wall_ms : int;
+  b_jobs : int;
+  b_workers : int;
+  metrics : (string * int) list;
+}
+
+type bench = { records : bench_record list }
+
+type rule = {
+  metric : string;
+  max_value : int option;
+  min_value : int option;
+  le_metric : string option;
+}
+
+type thresholds = { rules : rule list }
+
+type t =
+  | Fingerprint of fingerprint
+  | Crash of crash
+  | Bench of bench
+  | Thresholds of thresholds
+
+let kind_name = function
+  | Fingerprint _ -> "fingerprint"
+  | Crash _ -> "crash"
+  | Bench _ -> "bench"
+  | Thresholds _ -> "bench-thresholds"
+
+let filename = function
+  | Fingerprint f -> Printf.sprintf "fingerprint-%s.json" f.fp_fs
+  | Crash c -> Printf.sprintf "crash-%s.json" c.c_fs
+  | Bench _ -> "bench.json"
+  | Thresholds _ -> "bench-thresholds.json"
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let of_fingerprint ~seed (r : Driver.report) =
+  let matrices =
+    List.map
+      (fun (m : Driver.matrix) ->
+        let cells =
+          List.concat_map
+            (fun row ->
+              List.filter_map
+                (fun col ->
+                  let c = m.Driver.cell row col in
+                  if not c.Driver.applicable then None
+                  else
+                    Some
+                      {
+                        row;
+                        col = String.make 1 col;
+                        applicable = c.Driver.applicable;
+                        fired = c.Driver.fired;
+                        detection =
+                          List.map Taxonomy.detection_name c.Driver.detection;
+                        recovery =
+                          List.map Taxonomy.recovery_name c.Driver.recovery;
+                        note = c.Driver.note;
+                        d_sym = Render.cell_symbols ~which:`Detection c;
+                        r_sym = Render.cell_symbols ~which:`Recovery c;
+                      })
+                m.Driver.cols)
+            m.Driver.rows
+        in
+        {
+          fault = Taxonomy.fault_kind_name m.Driver.fault;
+          rows = m.Driver.rows;
+          cols = List.map (String.make 1) m.Driver.cols;
+          cells;
+        })
+      r.Driver.matrices
+  in
+  Fingerprint
+    {
+      fp_fs = r.Driver.name;
+      fp_seed = seed;
+      matrices;
+      counters = Driver.counters r;
+    }
+
+let crash_kinds =
+  [ Explore.Unmountable; Explore.Data_loss; Explore.Fsck_unclean; Explore.Panic ]
+
+let of_crash ~seed ~max_states (r : Explore.report) =
+  Crash
+    {
+      c_fs = r.Explore.fs;
+      c_seed = seed;
+      c_max_states = max_states;
+      log_len = r.Explore.log_len;
+      epochs = r.Explore.rep_epochs;
+      states = r.Explore.states;
+      tc_detected = r.Explore.tc_detected;
+      kind_counts =
+        List.map
+          (fun k -> (Explore.kind_to_string k, Explore.count r k))
+          crash_kinds;
+      violations =
+        List.map
+          (fun (v : Explore.violation) ->
+            {
+              state = v.Explore.state;
+              v_kind = Explore.kind_to_string v.Explore.v_kind;
+              detail = v.Explore.detail;
+            })
+          r.Explore.violations;
+    }
+
+let bench_of_records records = Bench { records }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_counters kvs = Json.Assoc (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
+
+let json_of_cell c =
+  Json.Assoc
+    [
+      ("row", Json.String c.row);
+      ("col", Json.String c.col);
+      ("applicable", Json.Bool c.applicable);
+      ("fired", Json.Int c.fired);
+      ("detection", Json.List (List.map (fun s -> Json.String s) c.detection));
+      ("recovery", Json.List (List.map (fun s -> Json.String s) c.recovery));
+      ("note", Json.String c.note);
+      ("d", Json.String c.d_sym);
+      ("r", Json.String c.r_sym);
+    ]
+
+let json_of t =
+  let head kind = [ ("schema_version", Json.Int schema_version); ("kind", Json.String kind) ] in
+  match t with
+  | Fingerprint f ->
+      Json.Assoc
+        (head "fingerprint"
+        @ [
+            ("fs", Json.String f.fp_fs);
+            ("seed", Json.Int f.fp_seed);
+            ("counters", json_counters f.counters);
+            ( "matrices",
+              Json.List
+                (List.map
+                   (fun m ->
+                     Json.Assoc
+                       [
+                         ("fault", Json.String m.fault);
+                         ( "rows",
+                           Json.List (List.map (fun s -> Json.String s) m.rows)
+                         );
+                         ( "cols",
+                           Json.List (List.map (fun s -> Json.String s) m.cols)
+                         );
+                         ("cells", Json.List (List.map json_of_cell m.cells));
+                       ])
+                   f.matrices) );
+          ])
+  | Crash c ->
+      Json.Assoc
+        (head "crash"
+        @ [
+            ("fs", Json.String c.c_fs);
+            ("seed", Json.Int c.c_seed);
+            ("max_states", Json.Int c.c_max_states);
+            ("log_len", Json.Int c.log_len);
+            ("epochs", Json.Int c.epochs);
+            ("states", Json.Int c.states);
+            ("tc_detected", Json.Int c.tc_detected);
+            ("counts", json_counters c.kind_counts);
+            ( "violations",
+              Json.List
+                (List.map
+                   (fun v ->
+                     Json.Assoc
+                       [
+                         ("state", Json.String v.state);
+                         ("kind", Json.String v.v_kind);
+                         ("detail", Json.String v.detail);
+                       ])
+                   c.violations) );
+          ])
+  | Bench b ->
+      Json.Assoc
+        (head "bench"
+        @ [
+            ( "records",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Assoc
+                       [
+                         ("experiment", Json.String r.experiment);
+                         ("wall_ms", Json.Int r.wall_ms);
+                         ("jobs", Json.Int r.b_jobs);
+                         ("workers", Json.Int r.b_workers);
+                         ("metrics", json_counters r.metrics);
+                       ])
+                   b.records) );
+          ])
+  | Thresholds th ->
+      Json.Assoc
+        (head "bench-thresholds"
+        @ [
+            ( "rules",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Assoc
+                       (("metric", Json.String r.metric)
+                       :: List.concat
+                            [
+                              (match r.max_value with
+                              | Some v -> [ ("max", Json.Int v) ]
+                              | None -> []);
+                              (match r.min_value with
+                              | Some v -> [ ("min", Json.Int v) ]
+                              | None -> []);
+                              (match r.le_metric with
+                              | Some m -> [ ("le_metric", Json.String m) ]
+                              | None -> []);
+                            ]))
+                   th.rules) );
+          ])
+
+let to_string t = Json.to_string (json_of t) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let str_list j =
+  let* l = Json.to_list j in
+  map_result Json.to_str l
+
+let counters_of j =
+  let* a = Json.to_assoc j in
+  map_result
+    (fun (k, v) ->
+      let* n = Json.to_int v in
+      Ok (k, n))
+    a
+
+let cell_of j =
+  let* row = Json.mem_str "row" j in
+  let* col = Json.mem_str "col" j in
+  let* applicable =
+    let* m = Json.member "applicable" j in
+    Json.to_bool m
+  in
+  let* fired = Json.mem_int "fired" j in
+  let* detection =
+    let* m = Json.member "detection" j in
+    str_list m
+  in
+  let* recovery =
+    let* m = Json.member "recovery" j in
+    str_list m
+  in
+  let* note = Json.mem_str "note" j in
+  let* d_sym = Json.mem_str "d" j in
+  let* r_sym = Json.mem_str "r" j in
+  Ok { row; col; applicable; fired; detection; recovery; note; d_sym; r_sym }
+
+let matrix_of j =
+  let* fault = Json.mem_str "fault" j in
+  let* rows =
+    let* m = Json.member "rows" j in
+    str_list m
+  in
+  let* cols =
+    let* m = Json.member "cols" j in
+    str_list m
+  in
+  let* cells =
+    let* m = Json.mem_list "cells" j in
+    map_result cell_of m
+  in
+  Ok { fault; rows; cols; cells }
+
+let fingerprint_of j =
+  let* fp_fs = Json.mem_str "fs" j in
+  let* fp_seed = Json.mem_int "seed" j in
+  let* counters =
+    let* m = Json.member "counters" j in
+    counters_of m
+  in
+  let* matrices =
+    let* m = Json.mem_list "matrices" j in
+    map_result matrix_of m
+  in
+  Ok (Fingerprint { fp_fs; fp_seed; matrices; counters })
+
+let crash_of j =
+  let* c_fs = Json.mem_str "fs" j in
+  let* c_seed = Json.mem_int "seed" j in
+  let* c_max_states = Json.mem_int "max_states" j in
+  let* log_len = Json.mem_int "log_len" j in
+  let* epochs = Json.mem_int "epochs" j in
+  let* states = Json.mem_int "states" j in
+  let* tc_detected = Json.mem_int "tc_detected" j in
+  let* kind_counts =
+    let* m = Json.member "counts" j in
+    counters_of m
+  in
+  let* violations =
+    let* m = Json.mem_list "violations" j in
+    map_result
+      (fun v ->
+        let* state = Json.mem_str "state" v in
+        let* v_kind = Json.mem_str "kind" v in
+        let* detail = Json.mem_str "detail" v in
+        Ok { state; v_kind; detail })
+      m
+  in
+  Ok
+    (Crash
+       {
+         c_fs;
+         c_seed;
+         c_max_states;
+         log_len;
+         epochs;
+         states;
+         tc_detected;
+         kind_counts;
+         violations;
+       })
+
+let bench_of j =
+  let* records =
+    let* m = Json.mem_list "records" j in
+    map_result
+      (fun r ->
+        let* experiment = Json.mem_str "experiment" r in
+        let* wall_ms = Json.mem_int "wall_ms" r in
+        let* b_jobs = Json.mem_int "jobs" r in
+        let* b_workers = Json.mem_int "workers" r in
+        let* metrics =
+          let* m = Json.member "metrics" r in
+          counters_of m
+        in
+        Ok { experiment; wall_ms; b_jobs; b_workers; metrics })
+      m
+  in
+  Ok (Bench { records })
+
+let thresholds_of j =
+  let* rules =
+    let* m = Json.mem_list "rules" j in
+    map_result
+      (fun r ->
+        let* metric = Json.mem_str "metric" r in
+        let opt_int k =
+          match Json.member k r with
+          | Ok v -> (
+              match Json.to_int v with
+              | Ok n -> Ok (Some n)
+              | Error e -> Error (k ^ ": " ^ e))
+          | Error _ -> Ok None
+        in
+        let* max_value = opt_int "max" in
+        let* min_value = opt_int "min" in
+        let le_metric =
+          match Json.member "le_metric" r with
+          | Ok (Json.String s) -> Some s
+          | Ok _ | Error _ -> None
+        in
+        if max_value = None && min_value = None && le_metric = None then
+          Error
+            (Printf.sprintf
+               "rule for %S has no bound (need max, min or le_metric)" metric)
+        else Ok { metric; max_value; min_value; le_metric })
+      m
+  in
+  Ok (Thresholds { rules })
+
+let of_string s =
+  let* j = Json.of_string s in
+  let* version = Json.mem_int "schema_version" j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "unknown schema version %d (this build supports %d)"
+         version schema_version)
+  else
+    let* kind = Json.mem_str "kind" j in
+    match kind with
+    | "fingerprint" -> fingerprint_of j
+    | "crash" -> crash_of j
+    | "bench" -> bench_of j
+    | "bench-thresholds" -> thresholds_of j
+    | k -> Error (Printf.sprintf "unknown artifact kind %S" k)
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Result.map_error (fun e -> path ^ ": " ^ e) (of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Diffing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type item = { path : string; golden : string; fresh : string }
+
+let default_timing_tol = 0.5
+
+let is_exact_metric name =
+  let suffix s = String.length name >= String.length s
+    && String.sub name (String.length name - String.length s) (String.length s) = s
+  in
+  suffix ".states" || suffix ".violations" || suffix ".tc_detected"
+  || name = "jobs"
+
+let item path golden fresh = { path; golden; fresh }
+
+(* Exact comparison of (string * int) counter sets, keyed by union. *)
+let diff_counters prefix golden fresh =
+  let keys =
+    List.sort_uniq compare (List.map fst golden @ List.map fst fresh)
+  in
+  List.filter_map
+    (fun k ->
+      let g = List.assoc_opt k golden and f = List.assoc_opt k fresh in
+      if g = f then None
+      else
+        let show = function Some n -> string_of_int n | None -> "(absent)" in
+        Some (item (prefix ^ "/" ^ k) (show g) (show f)))
+    keys
+
+let show_cell (c : fp_cell) =
+  if not c.applicable then "not applicable"
+  else
+    Printf.sprintf "d=%S r=%S fired=%d detection=[%s] recovery=[%s] note=%S"
+      c.d_sym c.r_sym c.fired
+      (String.concat "," c.detection)
+      (String.concat "," c.recovery)
+      c.note
+
+let na_cell row col =
+  {
+    row;
+    col;
+    applicable = false;
+    fired = 0;
+    detection = [];
+    recovery = [];
+    note = "";
+    d_sym = ".";
+    r_sym = ".";
+  }
+
+let diff_fingerprint g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let pre = "fingerprint/" ^ g.fp_fs in
+  if g.fp_fs <> f.fp_fs then push (item (pre ^ "/fs") g.fp_fs f.fp_fs);
+  if g.fp_seed <> f.fp_seed then
+    push
+      (item (pre ^ "/seed") (string_of_int g.fp_seed) (string_of_int f.fp_seed));
+  List.iter push (diff_counters (pre ^ "/counters") g.counters f.counters);
+  let faults =
+    List.sort_uniq compare
+      (List.map (fun m -> m.fault) g.matrices
+      @ List.map (fun m -> m.fault) f.matrices)
+  in
+  List.iter
+    (fun fault ->
+      let find ms = List.find_opt (fun m -> m.fault = fault) ms in
+      match (find g.matrices, find f.matrices) with
+      | None, None -> ()
+      | Some _, None -> push (item (pre ^ "/" ^ fault) "matrix present" "matrix absent")
+      | None, Some _ -> push (item (pre ^ "/" ^ fault) "matrix absent" "matrix present")
+      | Some gm, Some fm ->
+          let mpre = pre ^ "/" ^ fault in
+          if gm.rows <> fm.rows then
+            push
+              (item (mpre ^ "/rows")
+                 (String.concat "," gm.rows)
+                 (String.concat "," fm.rows));
+          if gm.cols <> fm.cols then
+            push
+              (item (mpre ^ "/cols")
+                 (String.concat "," gm.cols)
+                 (String.concat "," fm.cols));
+          (* Cells keyed by (row, col); a missing key is the
+             not-applicable cell. Iterate the union in row-major golden
+             order, then any fresh-only keys. *)
+          let key c = (c.row, c.col) in
+          let keys =
+            List.map key gm.cells
+            @ List.filter
+                (fun k -> not (List.exists (fun c -> key c = k) gm.cells))
+                (List.map key fm.cells)
+          in
+          List.iter
+            (fun (row, col) ->
+              let find cells =
+                match
+                  List.find_opt (fun c -> c.row = row && c.col = col) cells
+                with
+                | Some c -> c
+                | None -> na_cell row col
+              in
+              let gc = find gm.cells and fc = find fm.cells in
+              if gc <> fc then
+                push
+                  (item
+                     (Printf.sprintf "%s/%s:%s" mpre row col)
+                     (show_cell gc) (show_cell fc)))
+            keys)
+    faults;
+  List.rev !items
+
+let diff_crash g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let pre = "crash/" ^ g.c_fs in
+  let scalar name gv fv =
+    if gv <> fv then push (item (pre ^ "/" ^ name) (string_of_int gv) (string_of_int fv))
+  in
+  if g.c_fs <> f.c_fs then push (item (pre ^ "/fs") g.c_fs f.c_fs);
+  scalar "seed" g.c_seed f.c_seed;
+  scalar "max_states" g.c_max_states f.c_max_states;
+  scalar "log_len" g.log_len f.log_len;
+  scalar "epochs" g.epochs f.epochs;
+  scalar "states" g.states f.states;
+  scalar "tc_detected" g.tc_detected f.tc_detected;
+  List.iter push (diff_counters (pre ^ "/counts") g.kind_counts f.kind_counts);
+  let gn = List.length g.violations and fn = List.length f.violations in
+  if gn <> fn then
+    push
+      (item (pre ^ "/violations") (Printf.sprintf "%d violations" gn)
+         (Printf.sprintf "%d violations" fn));
+  (* Element-wise over the common prefix (exploration order is
+     deterministic); cap the noise at the first 20 mismatches. *)
+  let shown = ref 0 in
+  List.iteri
+    (fun i gv ->
+      match List.nth_opt f.violations i with
+      | Some fv when gv <> fv && !shown < 20 ->
+          incr shown;
+          let show (v : crash_violation) =
+            Printf.sprintf "[%s] %s: %s" v.v_kind v.state v.detail
+          in
+          push (item (Printf.sprintf "%s/violations[%d]" pre i) (show gv) (show fv))
+      | _ -> ())
+    g.violations;
+  List.rev !items
+
+let within_tol tol golden fresh =
+  let g = float_of_int golden and f = float_of_int fresh in
+  Float.abs (f -. g) <= tol *. Float.max (Float.abs g) 1.0
+
+let diff_bench ~timing_tol g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let gn = List.length g.records and fn = List.length f.records in
+  if gn <> fn then
+    push
+      (item "bench/records"
+         (Printf.sprintf "%d records" gn)
+         (Printf.sprintf "%d records" fn));
+  List.iteri
+    (fun i gr ->
+      match List.nth_opt f.records i with
+      | None -> ()
+      | Some fr ->
+          let pre = Printf.sprintf "bench/%s[%d]" gr.experiment i in
+          if gr.experiment <> fr.experiment then
+            push (item (pre ^ "/experiment") gr.experiment fr.experiment)
+          else begin
+            (* wall-clock and workers: tolerance / informational *)
+            if not (within_tol timing_tol gr.wall_ms fr.wall_ms) then
+              push
+                (item (pre ^ "/wall_ms")
+                   (string_of_int gr.wall_ms)
+                   (Printf.sprintf "%d (tol ±%.0f%%)" fr.wall_ms
+                      (100. *. timing_tol)));
+            if gr.b_jobs <> fr.b_jobs then
+              push
+                (item (pre ^ "/jobs")
+                   (string_of_int gr.b_jobs)
+                   (string_of_int fr.b_jobs));
+            let keys =
+              List.sort_uniq compare
+                (List.map fst gr.metrics @ List.map fst fr.metrics)
+            in
+            List.iter
+              (fun k ->
+                match
+                  (List.assoc_opt k gr.metrics, List.assoc_opt k fr.metrics)
+                with
+                | None, None -> ()
+                | Some v, None ->
+                    push (item (pre ^ "/" ^ k) (string_of_int v) "(absent)")
+                | None, Some v ->
+                    push (item (pre ^ "/" ^ k) "(absent)" (string_of_int v))
+                | Some gv, Some fv ->
+                    if is_exact_metric k then begin
+                      if gv <> fv then
+                        push
+                          (item (pre ^ "/" ^ k) (string_of_int gv)
+                             (string_of_int fv))
+                    end
+                    else if not (within_tol timing_tol gv fv) then
+                      push
+                        (item (pre ^ "/" ^ k) (string_of_int gv)
+                           (Printf.sprintf "%d (tol ±%.0f%%)" fv
+                              (100. *. timing_tol))))
+              keys
+          end)
+    g.records;
+  List.rev !items
+
+let check_thresholds th b =
+  (* Union of all records' metrics, later records winning. *)
+  let merged =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left (fun acc (k, v) -> (k, v) :: acc) acc r.metrics)
+      [] b.records
+  in
+  let lookup k = List.assoc_opt k merged in
+  List.concat_map
+    (fun r ->
+      let pre = "thresholds/" ^ r.metric in
+      match lookup r.metric with
+      | None -> [ item pre "metric measured" "metric absent from bench run" ]
+      | Some v ->
+          List.concat
+            [
+              (match r.max_value with
+              | Some max when v > max ->
+                  [ item pre (Printf.sprintf "<= %d" max) (string_of_int v) ]
+              | _ -> []);
+              (match r.min_value with
+              | Some min when v < min ->
+                  [ item pre (Printf.sprintf ">= %d" min) (string_of_int v) ]
+              | _ -> []);
+              (match r.le_metric with
+              | Some other -> (
+                  match lookup other with
+                  | None ->
+                      [
+                        item pre
+                          (Printf.sprintf "<= %s" other)
+                          (other ^ " absent from bench run");
+                      ]
+                  | Some ov when v > ov ->
+                      [
+                        item pre
+                          (Printf.sprintf "<= %s = %d" other ov)
+                          (string_of_int v);
+                      ]
+                  | Some _ -> [])
+              | None -> []);
+            ])
+    th.rules
+
+let diff ?(timing_tol = default_timing_tol) golden fresh =
+  match (golden, fresh) with
+  | Fingerprint g, Fingerprint f -> Ok (diff_fingerprint g f)
+  | Crash g, Crash f -> Ok (diff_crash g f)
+  | Bench g, Bench f -> Ok (diff_bench ~timing_tol g f)
+  | Thresholds th, Bench b -> Ok (check_thresholds th b)
+  | g, f ->
+      Error
+        (Printf.sprintf "cannot diff a %s artifact against a %s artifact"
+           (kind_name g) (kind_name f))
+
+let pp_item fmt i =
+  Format.fprintf fmt "%s@.  golden: %s@.  fresh:  %s" i.path i.golden i.fresh
+
+let pp_items fmt items =
+  List.iteri
+    (fun i it ->
+      if i > 0 then Format.fprintf fmt "@.";
+      Format.fprintf fmt "%a@." pp_item it)
+    items

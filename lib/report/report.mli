@@ -1,0 +1,174 @@
+(** Versioned golden artifacts and the regression differ.
+
+    The paper's whole method is {e diffing observable outputs} of
+    faulty vs fault-free runs (§4.3); this module applies the same
+    discipline to the reproduction itself. Every experiment output we
+    gate on — the Figure-2/3 failure-policy matrices, the §6.1
+    crash-exploration reports, the bench metric sets — has a stable,
+    canonical JSON encoding carrying a schema version, and a type-aware
+    differ:
+
+    - {b policy matrices} and {b crash counts} compare {e exactly}
+      (they are deterministic by the executor's contract: byte-identical
+      for any [-j] at a fixed seed);
+    - {b timing metrics} compare under a relative tolerance, or against
+      committed threshold rules (wall-clock is not reproducible, its
+      envelope is).
+
+    Golden artifacts live under [golden/] in the repository;
+    [iron golden --update] regenerates them and
+    [iron diff golden/ FRESH/] is the CI gate. The loader rejects
+    unknown schema versions so a stale golden tree fails loudly, never
+    silently. *)
+
+val schema_version : int
+(** Current schema version, [1]. Encoded into every artifact; the
+    loader rejects anything else. *)
+
+(** {1 Artifact types} *)
+
+(** One failure-policy cell, as observed (strings, not taxonomy
+    variants, so a decoded artifact is self-contained). [d_sym] /
+    [r_sym] are the rendered Figure-2 symbols
+    ({!Iron_core.Render.cell_symbols}) used in diff output. *)
+type fp_cell = {
+  row : string;  (** block type *)
+  col : string;  (** workload column, ["a"].. ["t"] *)
+  applicable : bool;
+  fired : int;
+  detection : string list;  (** {!Iron_core.Taxonomy.detection_name}s *)
+  recovery : string list;
+  note : string;
+  d_sym : string;
+  r_sym : string;
+}
+
+type fp_matrix = {
+  fault : string;  (** {!Iron_core.Taxonomy.fault_kind_name} *)
+  rows : string list;
+  cols : string list;
+  cells : fp_cell list;
+      (** applicable cells only, row-major; a missing (row, col) is the
+          not-applicable cell *)
+}
+
+type fingerprint = {
+  fp_fs : string;
+  fp_seed : int;
+  matrices : fp_matrix list;
+  counters : (string * int) list;
+      (** the deterministic campaign counters,
+          {!Iron_core.Driver.counters} *)
+}
+
+type crash_violation = { state : string; v_kind : string; detail : string }
+
+type crash = {
+  c_fs : string;
+  c_seed : int;
+  c_max_states : int;
+  log_len : int;
+  epochs : int;
+  states : int;
+  tc_detected : int;
+  kind_counts : (string * int) list;  (** per {!Iron_crash.Explore.kind} *)
+  violations : crash_violation list;  (** in exploration order *)
+}
+
+type bench_record = {
+  experiment : string;
+  wall_ms : int;  (** wall-clock; compared only under tolerance *)
+  b_jobs : int;  (** campaign jobs executed *)
+  b_workers : int;
+  metrics : (string * int) list;  (** stashed counters, path-sorted *)
+}
+
+type bench = { records : bench_record list }
+
+(** One threshold rule over a bench metric set: [metric <= max_value],
+    [metric >= min_value], and/or [metric <= value of le_metric]. *)
+type rule = {
+  metric : string;
+  max_value : int option;
+  min_value : int option;
+  le_metric : string option;
+}
+
+type thresholds = { rules : rule list }
+
+type t =
+  | Fingerprint of fingerprint
+  | Crash of crash
+  | Bench of bench
+  | Thresholds of thresholds
+
+val kind_name : t -> string
+(** ["fingerprint"] | ["crash"] | ["bench"] | ["bench-thresholds"]. *)
+
+val filename : t -> string
+(** Canonical basename for an artifact directory:
+    [fingerprint-<fs>.json], [crash-<fs>.json], [bench.json],
+    [bench-thresholds.json]. *)
+
+(** {1 Builders} *)
+
+val of_fingerprint : seed:int -> Iron_core.Driver.report -> t
+(** Capture the deterministic fraction of a campaign report: matrices
+    (applicable cells, with rendered symbols) and the
+    {!Iron_core.Driver.counters} — never [stats.wall_s] or
+    [stats.workers]. *)
+
+val of_crash : seed:int -> max_states:int -> Iron_crash.Explore.report -> t
+
+val bench_of_records : bench_record list -> t
+
+(** {1 Encoding}
+
+    [to_string] is canonical: equal artifacts are byte-equal, so golden
+    files are diffable and [git status] is an integrity check. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Rejects documents whose [schema_version] differs from
+    {!schema_version} or whose [kind] is unknown. *)
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+(** {1 Diffing} *)
+
+type item = {
+  path : string;
+      (** where, e.g. ["fingerprint/ext3/read/detection+recovery inode:g"] *)
+  golden : string;  (** rendered golden-side value *)
+  fresh : string;  (** rendered fresh-side value *)
+}
+
+val is_exact_metric : string -> bool
+(** Bench metrics compared exactly: state/violation/Tc counts and job
+    counts. Everything else in a bench record (wall-clock, per-cycle
+    microseconds, allocation bytes, speedups) is a timing-class metric
+    compared under tolerance. *)
+
+val default_timing_tol : float
+(** [0.5]: a timing metric may drift ±50% relative to golden before it
+    counts as a regression. *)
+
+val diff : ?timing_tol:float -> t -> t -> (item list, string) result
+(** [diff golden fresh] is [Ok []] when the artifacts agree,
+    [Ok items] with one cell-level item per disagreement, and [Error]
+    when the two artifacts are not comparable (different kinds — except
+    [Thresholds] vs [Bench], which evaluates the rules). Matrices and
+    crash reports compare exactly; bench timing metrics compare within
+    [timing_tol] (default {!default_timing_tol}). *)
+
+val check_thresholds : thresholds -> bench -> item list
+(** Evaluate each rule against the union of the bench records' metric
+    sets (later records win on duplicate paths). A missing metric is a
+    violation: a threshold that silently stops measuring anything is a
+    broken gate. *)
+
+val pp_item : Format.formatter -> item -> unit
+val pp_items : Format.formatter -> item list -> unit
+(** Human-readable cell-level report, one [path: golden ... | fresh ...]
+    block per item. *)

@@ -1,0 +1,545 @@
+(* Tests for the golden-artifact subsystem (Iron_report).
+
+   The regression gate is only as trustworthy as its codec and differ,
+   so each is pinned from both sides:
+
+   - encode/decode round-trips any artifact (qcheck over generated
+     artifacts, including hostile strings), and encoding is canonical
+     (equal artifacts are byte-equal on disk);
+   - the loader rejects unknown schema versions and unknown kinds
+     loudly;
+   - the differ is exact on policy matrices and crash counts, and
+     tolerance-based on timing metrics;
+   - end to end: a real ext3 campaign's artifact survives a
+     round-trip unchanged, and flipping a single policy cell makes the
+     diff fail and name that cell. *)
+
+module Report = Iron_report.Report
+module Json = Iron_report.Json
+module Driver = Iron_core.Driver
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Tiny string helpers so the tests need no extra libraries. *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let replace_once ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then s
+    else if String.sub s i m = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Json unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_escapes () =
+  let nasty = "a\"b\\c\nd\te\r\011\001 end" in
+  let v = Json.Assoc [ ("k", Json.String nasty) ] in
+  (match Json.of_string (Json.to_string v) with
+  | Ok (Json.Assoc [ ("k", Json.String s) ]) ->
+      check Alcotest.string "string round-trips through escapes" nasty s
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e);
+  (* \u escapes decode to UTF-8 (including a surrogate pair). *)
+  match Json.of_string "\"A\\u00e9\\u2713\\ud83d\\ude00\"" with
+  | Ok (Json.String s) ->
+      check Alcotest.string "unicode escapes"
+        "A\xc3\xa9\xe2\x9c\x93\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_json_rejects_garbage () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_int_vs_float () =
+  (match Json.of_string "42" with
+  | Ok (Json.Int 42) -> ()
+  | _ -> Alcotest.fail "42 should parse as Int");
+  match Json.of_string "42.5" with
+  | Ok (Json.Float f) -> check (Alcotest.float 1e-9) "float" 42.5 f
+  | _ -> Alcotest.fail "42.5 should parse as Float"
+
+(* ------------------------------------------------------------------ *)
+(* Artifact generators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Strings that exercise the codec: printable stuff plus quotes,
+   backslashes, newlines and control bytes. *)
+let gen_string =
+  QCheck.Gen.(
+    map
+      (fun chars ->
+        String.concat ""
+          (List.map
+             (function
+               | 0 -> "\""
+               | 1 -> "\\"
+               | 2 -> "\n"
+               | 3 -> "\t"
+               | 4 -> "\001"
+               | n -> String.make 1 (Char.chr (32 + (n mod 90))))
+             chars))
+      (small_list (int_bound 120)))
+
+let gen_counters =
+  QCheck.Gen.(
+    small_list (pair gen_string (int_bound 100000))
+    |> map (fun kvs ->
+           (* duplicate keys would not round-trip through an assoc *)
+           List.sort_uniq (fun (a, _) (b, _) -> compare a b) kvs))
+
+let gen_cell =
+  QCheck.Gen.(
+    map
+      (fun ((row, col, fired), (detection, recovery, note)) ->
+        {
+          Report.row;
+          col;
+          applicable = true;
+          fired;
+          detection;
+          recovery;
+          note;
+          d_sym = "-";
+          r_sym = "|";
+        })
+      (pair
+         (triple gen_string gen_string (int_bound 50))
+         (triple (small_list gen_string) (small_list gen_string) gen_string)))
+
+let gen_fingerprint =
+  QCheck.Gen.(
+    map
+      (fun ((fs, seed, counters), (faults, cells)) ->
+        Report.Fingerprint
+          {
+            Report.fp_fs = fs;
+            fp_seed = seed;
+            counters;
+            matrices =
+              List.map
+                (fun fault ->
+                  { Report.fault; rows = [ "r" ]; cols = [ "a" ]; cells })
+                (List.sort_uniq compare faults);
+          })
+      (pair
+         (triple gen_string (int_bound 1000000) gen_counters)
+         (pair (small_list gen_string) (small_list gen_cell))))
+
+let gen_crash =
+  QCheck.Gen.(
+    map
+      (fun ((fs, seed, states), (counts, violations)) ->
+        Report.Crash
+          {
+            Report.c_fs = fs;
+            c_seed = seed;
+            c_max_states = states;
+            log_len = states mod 97;
+            epochs = states mod 11;
+            states;
+            tc_detected = states mod 301;
+            kind_counts = counts;
+            violations =
+              List.map
+                (fun (s, k, d) -> { Report.state = s; v_kind = k; detail = d })
+                violations;
+          })
+      (pair
+         (triple gen_string (int_bound 1000000) (int_bound 5000))
+         (pair gen_counters (small_list (triple gen_string gen_string gen_string)))))
+
+let gen_bench =
+  QCheck.Gen.(
+    map
+      (fun records ->
+        Report.Bench
+          {
+            Report.records =
+              List.map
+                (fun ((e, w), (j, k, m)) ->
+                  {
+                    Report.experiment = e;
+                    wall_ms = w;
+                    b_jobs = j;
+                    b_workers = k;
+                    metrics = m;
+                  })
+                records;
+          })
+      (small_list
+         (pair (pair gen_string (int_bound 100000))
+            (triple (int_bound 10000) (int_range 1 16) gen_counters))))
+
+let gen_thresholds =
+  QCheck.Gen.(
+    map
+      (fun rules ->
+        Report.Thresholds
+          {
+            Report.rules =
+              List.map
+                (fun (m, which, v) ->
+                  match which mod 3 with
+                  | 0 ->
+                      {
+                        Report.metric = m;
+                        max_value = Some v;
+                        min_value = None;
+                        le_metric = None;
+                      }
+                  | 1 ->
+                      {
+                        Report.metric = m;
+                        max_value = None;
+                        min_value = Some v;
+                        le_metric = None;
+                      }
+                  | _ ->
+                      {
+                        Report.metric = m;
+                        max_value = None;
+                        min_value = None;
+                        le_metric = Some (m ^ ".other");
+                      })
+                rules;
+          })
+      (small_list (triple gen_string (int_bound 5) (int_bound 1000))))
+
+let gen_artifact =
+  QCheck.Gen.(
+    int_bound 3 >>= function
+    | 0 -> gen_fingerprint
+    | 1 -> gen_crash
+    | 2 -> gen_bench
+    | _ -> gen_thresholds)
+
+let arb_artifact =
+  QCheck.make ~print:(fun a -> Report.to_string a) gen_artifact
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip + canonicality                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"Report encode/decode round-trips" ~count:200
+    arb_artifact (fun art ->
+      match Report.of_string (Report.to_string art) with
+      | Ok art' -> art' = art
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_canonical =
+  QCheck.Test.make ~name:"Report encoding is canonical (stable bytes)"
+    ~count:100 arb_artifact (fun art ->
+      let s = Report.to_string art in
+      match Report.of_string s with
+      | Ok art' -> String.equal s (Report.to_string art')
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Loader rejection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_crash =
+  Report.Crash
+    {
+      Report.c_fs = "ext3";
+      c_seed = 7;
+      c_max_states = 10;
+      log_len = 3;
+      epochs = 1;
+      states = 10;
+      tc_detected = 0;
+      kind_counts = [ ("data-loss", 2) ];
+      violations = [ { Report.state = "s"; v_kind = "data-loss"; detail = "d" } ];
+    }
+
+let test_rejects_unknown_version () =
+  let s = Report.to_string sample_crash in
+  let bumped =
+    replace_once ~sub:"\"schema_version\": 1" ~by:"\"schema_version\": 99" s
+  in
+  match Report.of_string bumped with
+  | Ok _ -> Alcotest.fail "accepted schema version 99"
+  | Error e ->
+      check Alcotest.bool "error names the version" true
+        (contains ~sub:"unknown schema version 99" e)
+
+let test_rejects_unknown_kind () =
+  let s = Report.to_string sample_crash in
+  let bumped =
+    replace_once ~sub:"\"kind\": \"crash\"" ~by:"\"kind\": \"mystery\"" s
+  in
+  match Report.of_string bumped with
+  | Ok _ -> Alcotest.fail "accepted unknown kind"
+  | Error e ->
+      check Alcotest.bool "error names the kind" true
+        (contains ~sub:"mystery" e)
+
+(* ------------------------------------------------------------------ *)
+(* Differ semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cell row col d =
+  {
+    Report.row;
+    col;
+    applicable = true;
+    fired = 1;
+    detection = [ "DErrorCode" ];
+    recovery = [ "RPropagate" ];
+    note = "EIO";
+    d_sym = d;
+    r_sym = "-";
+  }
+
+let fingerprint cells =
+  Report.Fingerprint
+    {
+      Report.fp_fs = "ext3";
+      fp_seed = 7;
+      counters = [ ("experiments_run", 2) ];
+      matrices =
+        [ { Report.fault = "Read Failure"; rows = [ "inode" ]; cols = [ "a"; "b" ]; cells } ];
+    }
+
+let diff_ok g f =
+  match Report.diff g f with
+  | Ok items -> items
+  | Error e -> Alcotest.fail e
+
+let test_matrix_diff_exact () =
+  let g = fingerprint [ cell "inode" "a" "-"; cell "inode" "b" "-" ] in
+  check Alcotest.int "identical matrices diff empty" 0
+    (List.length (diff_ok g g));
+  (* One flipped policy cell: exactly one item, naming the cell. *)
+  let f = fingerprint [ cell "inode" "a" "-"; cell "inode" "b" "|" ] in
+  match diff_ok g f with
+  | [ item ] ->
+      check Alcotest.string "cell named" "fingerprint/ext3/Read Failure/inode:b"
+        item.Report.path
+  | items -> Alcotest.failf "expected 1 item, got %d" (List.length items)
+
+let test_matrix_diff_applicability () =
+  (* A cell present on one side only diffs against the not-applicable
+     default — losing a cell is drift, not silence. *)
+  let g = fingerprint [ cell "inode" "a" "-"; cell "inode" "b" "-" ] in
+  let f = fingerprint [ cell "inode" "a" "-" ] in
+  match diff_ok g f with
+  | [ item ] ->
+      check Alcotest.string "fresh side shows not applicable" "not applicable"
+        item.Report.fresh
+  | items -> Alcotest.failf "expected 1 item, got %d" (List.length items)
+
+let test_crash_diff_exact () =
+  let g = sample_crash in
+  check Alcotest.int "identical crash reports diff empty" 0
+    (List.length (diff_ok g g));
+  let f =
+    match sample_crash with
+    | Report.Crash c -> Report.Crash { c with Report.kind_counts = [ ("data-loss", 3) ] }
+    | _ -> assert false
+  in
+  match diff_ok g f with
+  | [ item ] ->
+      check Alcotest.string "count named" "crash/ext3/counts/data-loss"
+        item.Report.path
+  | items -> Alcotest.failf "expected 1 item, got %d" (List.length items)
+
+let bench metrics =
+  Report.Bench
+    {
+      Report.records =
+        [
+          {
+            Report.experiment = "smoke";
+            wall_ms = 100;
+            b_jobs = 0;
+            b_workers = 1;
+            metrics;
+          };
+        ];
+    }
+
+let test_bench_diff_tolerance () =
+  (* Timing metrics drift within the tolerance without tripping. *)
+  let g = bench [ ("bench.x.us_per_cycle", 100) ] in
+  let f = bench [ ("bench.x.us_per_cycle", 140) ] in
+  check Alcotest.int "within default ±50%" 0 (List.length (diff_ok g f));
+  let f = bench [ ("bench.x.us_per_cycle", 160) ] in
+  check Alcotest.int "outside default ±50%" 1 (List.length (diff_ok g f));
+  (match Report.diff ~timing_tol:1.0 g f with
+  | Ok items -> check Alcotest.int "wider tolerance absorbs it" 0 (List.length items)
+  | Error e -> Alcotest.fail e);
+  (* Count metrics stay exact regardless of tolerance. *)
+  let g = bench [ ("bench.crash_states.ext3.violations", 100) ] in
+  let f = bench [ ("bench.crash_states.ext3.violations", 101) ] in
+  match Report.diff ~timing_tol:10.0 g f with
+  | Ok items -> check Alcotest.int "exact metric trips at ±1" 1 (List.length items)
+  | Error e -> Alcotest.fail e
+
+let test_thresholds () =
+  let th =
+    {
+      Report.rules =
+        [
+          {
+            Report.metric = "m.bytes";
+            max_value = Some 64;
+            min_value = None;
+            le_metric = None;
+          };
+          {
+            Report.metric = "m.cow";
+            max_value = None;
+            min_value = None;
+            le_metric = Some "m.flat";
+          };
+        ];
+    }
+  in
+  let b m = match bench m with Report.Bench b -> b | _ -> assert false in
+  check Alcotest.int "all hold" 0
+    (List.length
+       (Report.check_thresholds th
+          (b [ ("m.bytes", 5); ("m.cow", 3); ("m.flat", 700) ])));
+  check Alcotest.int "max violated" 1
+    (List.length
+       (Report.check_thresholds th
+          (b [ ("m.bytes", 65); ("m.cow", 3); ("m.flat", 700) ])));
+  check Alcotest.int "le_metric violated" 1
+    (List.length
+       (Report.check_thresholds th
+          (b [ ("m.bytes", 5); ("m.cow", 800); ("m.flat", 700) ])));
+  (* A metric the run stopped measuring is a violation, not a pass. *)
+  check Alcotest.int "missing metric is a violation" 1
+    (List.length
+       (Report.check_thresholds th (b [ ("m.cow", 3); ("m.flat", 700) ])))
+
+let test_kind_mismatch_is_error () =
+  match Report.diff sample_crash (bench []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "crash vs bench should not be comparable"
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a real campaign's artifact                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_campaign () =
+  (* One fault kind over the full block-type/workload grid is plenty:
+     the artifact still carries hundreds of cells but runs in tens of
+     milliseconds. *)
+  Driver.fingerprint
+    ~faults:[ Iron_core.Taxonomy.Read_failure ]
+    ~seed:1234 Iron_ext3.Ext3.std
+
+let test_campaign_round_trip () =
+  let art = Report.of_fingerprint ~seed:1234 (small_campaign ()) in
+  match Report.of_string (Report.to_string art) with
+  | Ok art' ->
+      check Alcotest.bool "campaign artifact round-trips" true (art = art');
+      check Alcotest.int "round-trip diffs empty" 0
+        (List.length (diff_ok art art'))
+  | Error e -> Alcotest.fail e
+
+let test_campaign_single_cell_perturbation () =
+  (* The acceptance property of the whole subsystem: flip ONE policy
+     cell in a real fingerprint and the diff must fail, naming it. *)
+  let art = Report.of_fingerprint ~seed:1234 (small_campaign ()) in
+  let fp = match art with Report.Fingerprint f -> f | _ -> assert false in
+  (* Deterministically pick a fired cell to flip (seeded choice). *)
+  let fired_cells =
+    List.concat_map
+      (fun m -> List.filter (fun c -> c.Report.fired > 0) m.Report.cells)
+      fp.Report.matrices
+  in
+  check Alcotest.bool "campaign has fired cells" true (fired_cells <> []);
+  let rng = Iron_util.Prng.create 42 in
+  let victim =
+    List.nth fired_cells (Iron_util.Prng.int rng (List.length fired_cells))
+  in
+  let perturbed =
+    Report.Fingerprint
+      {
+        fp with
+        Report.matrices =
+          List.map
+            (fun m ->
+              {
+                m with
+                Report.cells =
+                  List.map
+                    (fun c ->
+                      if c = victim then
+                        { c with Report.d_sym = "X"; detection = [ "DSanity" ] }
+                      else c)
+                    m.Report.cells;
+              })
+            fp.Report.matrices;
+      }
+  in
+  match diff_ok art perturbed with
+  | [ item ] ->
+      let expect =
+        Printf.sprintf "fingerprint/ext3/Read Failure/%s:%s" victim.Report.row
+          victim.Report.col
+      in
+      check Alcotest.string "perturbed cell is named" expect item.Report.path
+  | items ->
+      Alcotest.failf "expected exactly 1 differing cell, got %d"
+        (List.length items)
+
+let suites =
+  [
+    ( "report.json",
+      [
+        Alcotest.test_case "escape round-trip" `Quick test_json_escapes;
+        Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        Alcotest.test_case "int vs float" `Quick test_json_int_vs_float;
+      ] );
+    ( "report.codec",
+      [
+        qtest prop_round_trip;
+        qtest prop_canonical;
+        Alcotest.test_case "rejects unknown schema version" `Quick
+          test_rejects_unknown_version;
+        Alcotest.test_case "rejects unknown kind" `Quick
+          test_rejects_unknown_kind;
+      ] );
+    ( "report.diff",
+      [
+        Alcotest.test_case "matrices compare exactly" `Quick
+          test_matrix_diff_exact;
+        Alcotest.test_case "applicability changes are drift" `Quick
+          test_matrix_diff_applicability;
+        Alcotest.test_case "crash counts compare exactly" `Quick
+          test_crash_diff_exact;
+        Alcotest.test_case "timing metrics use tolerance" `Quick
+          test_bench_diff_tolerance;
+        Alcotest.test_case "threshold rules" `Quick test_thresholds;
+        Alcotest.test_case "kind mismatch is an error" `Quick
+          test_kind_mismatch_is_error;
+      ] );
+    ( "report.campaign",
+      [
+        Alcotest.test_case "real artifact round-trips" `Quick
+          test_campaign_round_trip;
+        Alcotest.test_case "single flipped cell fails the gate" `Quick
+          test_campaign_single_cell_perturbation;
+      ] );
+  ]
