@@ -441,7 +441,11 @@ let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
   in
   let fs = Fs.brand_name brand in
   (* The ext3 family gets the offline cross-check too. *)
-  let fsck = fs = "ext3" || fs = "ixt3" in
+  let fsck =
+    match fs with
+    | "ext3" | "ixt3" | "ext3-writeback" | "ext3-data" -> true
+    | _ -> false
+  in
   let recorded =
     in_span "record" (fun () -> record ~params ~durable_files ~racing_files brand)
   in

@@ -1,4 +1,5 @@
 open Iron_util
+module Jrec = Iron_jrnl.Jrec
 
 let block_types =
   [

@@ -6,6 +6,9 @@ module Klog = Iron_vfs.Klog
 module Fs = Iron_vfs.Fs
 module VPath = Iron_vfs.Path
 module Obs = Iron_obs.Obs
+module Jrnl = Iron_jrnl.Jrnl
+module Jrec = Iron_jrnl.Jrec
+module Kind = Iron_jrnl.Kind
 
 let ( let* ) = Result.bind
 
@@ -42,14 +45,9 @@ type state = {
   gd_itable : int array;
   mutable readonly : bool;
   mutable aborted : bool;
-  (* journaling *)
-  txn : (int, bytes) Hashtbl.t;
-  mutable txn_order : int list; (* newest first *)
-  mutable txn_revoked : int list;
-  pending : (int, bytes) Hashtbl.t;
-  mutable pending_order : int list; (* newest first *)
-  mutable jhead : int;
-  mutable jseq : int;
+  (* journaling: transaction state lives in the shared typed-journal
+     core; the profile's commit policy picked the engine's mode *)
+  jrnl : Jrnl.t;
   (* process state *)
   fds : (int, fdesc) Hashtbl.t;
   mutable next_fd : int;
@@ -66,7 +64,6 @@ type state = {
 let now_seconds t = int_of_float (t.dev.Dev.now () /. 1000.)
 let bsize t = t.lay.Layout.block_size
 let zero_block t = Bytes.make (bsize t) '\000'
-let jend t = t.lay.Layout.journal_start + t.lay.Layout.journal_len
 
 let is_meta_cls = function
   | Gdesc | BBitmap | IBitmap | Itable | Dir | Indirect -> true
@@ -84,25 +81,80 @@ let abort_journal t why =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Typed layout and commit policy handed to the journal core           *)
+(* ------------------------------------------------------------------ *)
+
+(* Region-level block classification for the journal core. Directory
+   and indirect blocks live in the data region and are classified Data
+   here; the call sites carry the finer [cls] distinction. *)
+let kind_of_block lay b =
+  if b = 0 then Kind.Superblock
+  else if b = 1 then Kind.Gdesc
+  else if b = lay.Layout.journal_start then Kind.Jsb
+  else if
+    b > lay.Layout.journal_start
+    && b < lay.Layout.journal_start + lay.Layout.journal_len
+  then Kind.Jdata
+  else if
+    b >= lay.Layout.replica_start
+    && b < lay.Layout.replica_start + lay.Layout.replica_blocks
+  then Kind.Replica
+  else if
+    b >= lay.Layout.rmap_start && b < lay.Layout.rmap_start + lay.Layout.rmap_blocks
+  then Kind.Rmap
+  else if
+    b >= lay.Layout.rlog_start && b < lay.Layout.rlog_start + lay.Layout.rlog_blocks
+  then Kind.Rlog
+  else if
+    b >= lay.Layout.cksum_start && b < lay.Layout.cksum_start + lay.Layout.cksum_blocks
+  then Kind.Cksum
+  else
+    match Layout.group_of_block lay b with
+    | None -> Kind.Unknown
+    | Some g ->
+        if b = Layout.super_copy_block lay g then Kind.Superblock
+        else if b = Layout.bitmap_block lay g then Kind.Bitmap
+        else if b = Layout.ibitmap_block lay g then Kind.Ibitmap
+        else if
+          b >= Layout.itable_block lay g
+          && b < Layout.itable_block lay g + lay.Layout.itable_blocks
+        then Kind.Inode
+        else Kind.Data
+
+let geo_of_layout lay =
+  {
+    Jrnl.jsb = lay.Layout.journal_start;
+    jfirst = lay.Layout.journal_start + 1;
+    jend = lay.Layout.journal_start + lay.Layout.journal_len;
+    num_blocks = lay.Layout.num_blocks;
+  }
+
+let policy_of_profile (p : Profile.t) : (module Jrnl.POLICY) =
+  (module struct
+    let tag = "ext3"
+    let mode = p.Profile.mode
+
+    let iron =
+      {
+        Jrnl.abort_on_journal_write_failure =
+          p.Profile.abort_on_journal_write_failure;
+        check_write_errors = p.Profile.check_write_errors;
+      }
+  end)
+
+(* ------------------------------------------------------------------ *)
 (* Low-level block access with journal overlay                         *)
 (* ------------------------------------------------------------------ *)
 
-let overlay_find t b =
-  match Hashtbl.find_opt t.txn b with
-  | Some d -> Some d
-  | None -> Hashtbl.find_opt t.pending b
-
 let block_read_raw t b =
-  match overlay_find t b with
+  match Jrnl.find t.jrnl b with
   | Some d -> Ok (Bytes.copy d)
   | None -> (
       match Bcache.read t.cache b with
       | Ok d -> Ok d
       | Error _ -> Error Errno.EIO)
 
-let txn_put t b data =
-  if not (Hashtbl.mem t.txn b) then t.txn_order <- b :: t.txn_order;
-  Hashtbl.replace t.txn b (Bytes.copy data)
+let txn_put t b data = Jrnl.stage t.jrnl b data
 
 (* Checksum-table maintenance. Failures here are logged but do not fail
    the triggering operation: losing a checksum degrades protection, not
@@ -232,185 +284,16 @@ let meta_write t cls b data =
     Ok ()
   end
 
-let revoke_block t b =
-  if not (List.mem b t.txn_revoked) then t.txn_revoked <- b :: t.txn_revoked
+let revoke_block t b = Jrnl.revoke t.jrnl b
 
 (* ------------------------------------------------------------------ *)
 (* Journal: commit, checkpoint, recovery                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Write one block into the journal region. Stock ext3 drops the error
-   and keeps committing — the bug the paper documents (§5.1); ixt3
-   aborts the journal. Returns false only when aborted. *)
-let journal_write t jb data =
-  match t.dev.Dev.write jb data with
-  | Ok () -> true
-  | Error _ ->
-      (* Stock ext3 does not even record the error code (DZero) and
-         presses on with the commit block — the replay-corruption bug.
-         ixt3 logs and aborts. *)
-      if t.profile.Profile.abort_on_journal_write_failure then begin
-        Klog.error t.klog "ext3" "journal write to block %d failed" jb;
-        abort_journal t "journal write failure";
-        false
-      end
-      else true
-
-let write_jsuper t =
-  let buf = zero_block t in
-  Jrec.encode_jsuper { Jrec.sequence = t.jseq; start = t.jhead } buf;
-  (if t.profile.Profile.meta_replica then
-     match Layout.replica_of t.lay t.lay.Layout.journal_start with
-     | Some r -> ( match t.dev.Dev.write r buf with Ok () | Error _ -> ())
-     | None -> ());
-  match t.dev.Dev.write t.lay.Layout.journal_start buf with
-  | Ok () -> true
-  | Error _ ->
-      if t.profile.Profile.check_write_errors then begin
-        Klog.error t.klog "ext3" "journal superblock write failed";
-        abort_journal t "journal superblock write failure";
-        false
-      end
-      else true
-
-(* Checkpoint: push committed blocks to their home locations and reset
-   the log. Stock ext3 ignores checkpoint write failures entirely —
-   DZero on writes. *)
-let checkpoint t =
-  Obs.span_a ~subsystem:"ext3.journal" "checkpoint" @@ fun () ->
-  (* Elevator order: writeback sweeps the disk in one direction, as the
-     kernel's flusher would, instead of seeking in insertion order. *)
-  let blocks = List.sort compare (List.rev t.pending_order) in
-  List.iter
-    (fun b ->
-      match Hashtbl.find_opt t.pending b with
-      | None -> ()
-      | Some data -> (
-          match Bcache.write t.cache b data with
-          | Ok () -> ()
-          | Error _ ->
-              if t.profile.Profile.check_write_errors then begin
-                Klog.error t.klog "ext3" "checkpoint write to block %d failed" b;
-                abort_journal t "checkpoint write failure"
-              end))
-    blocks;
-  Hashtbl.reset t.pending;
-  t.pending_order <- [];
-  t.jhead <- t.lay.Layout.journal_start + 1;
-  ignore (write_jsuper t);
-  ignore (t.dev.Dev.sync ())
-
-let commit t =
-  if Hashtbl.length t.txn = 0 && t.txn_revoked = [] then Ok ()
-  else if t.aborted then Error Errno.EROFS
-  else
-    Obs.span_a ~subsystem:"ext3.journal" "commit" @@ fun () ->
-    begin
-    (* Replica copies do not ride the regular journal: they stream to
-       the separate replica log below (§6.1) and reach their fixed
-       homes at checkpoint. *)
-    let all_blocks = List.rev t.txn_order in
-    let blocks =
-      List.filter (fun b -> b < t.lay.Layout.replica_start) all_blocks
-    in
-    let needed = 2 + List.length blocks + (if t.txn_revoked = [] then 0 else 1) in
-    if t.jhead + needed > jend t then checkpoint t;
-    if t.aborted then Error Errno.EROFS
-    else if t.jhead + needed > jend t then begin
-      (* A single transaction larger than the log: flush directly. This
-         sacrifices atomicity for this oversized transaction, which the
-         real system avoids by bounding transaction size; our workloads
-         never hit it, but fault injection might. *)
-      Klog.warn t.klog "ext3" "transaction larger than journal; direct flush";
-      List.iter
-        (fun b ->
-          match Hashtbl.find_opt t.txn b with
-          | Some data -> ignore (Bcache.write t.cache b data)
-          | None -> ())
-        blocks;
-      Hashtbl.reset t.txn;
-      t.txn_order <- [];
-      t.txn_revoked <- [];
-      Ok ()
-    end
-    else begin
-      let seq = t.jseq in
-      let buf = zero_block t in
-      Jrec.encode_desc { Jrec.seq; tags = blocks } buf;
-      let ok = ref (journal_write t t.jhead buf) in
-      let pos = ref (t.jhead + 1) in
-      let cksum_ctx = Sha1.init () in
-      List.iter
-        (fun b ->
-          match Hashtbl.find_opt t.txn b with
-          | None -> ()
-          | Some data ->
-              if !ok then ok := journal_write t !pos data;
-              if t.profile.Profile.txn_checksum then Sha1.feed cksum_ctx data;
-              incr pos)
-        blocks;
-      if t.txn_revoked <> [] then begin
-        let rbuf = zero_block t in
-        Jrec.encode_revoke { Jrec.rseq = seq; revoked = t.txn_revoked } rbuf;
-        if !ok then ok := journal_write t !pos rbuf;
-        incr pos
-      end;
-      (* The ordering point: without transactional checksums the commit
-         block may only be issued once the journal payload is durable,
-         which costs a rotation (§6.1). With Tc the commit streams out
-         with the payload. *)
-      if not t.profile.Profile.txn_checksum then ignore (t.dev.Dev.sync ());
-      let cbuf = zero_block t in
-      let checksum =
-        if t.profile.Profile.txn_checksum then Some (Sha1.to_raw (Sha1.finalize cksum_ctx))
-        else None
-      in
-      Jrec.encode_commit { Jrec.cseq = seq; checksum } cbuf;
-      if !ok then ok := journal_write t !pos cbuf;
-      incr pos;
-      ignore (t.dev.Dev.sync ());
-      (* Mr: "all metadata blocks are written to a separate replica log;
-         they are later checkpointed to a fixed location" (§6.1).
-         Issued after the commit (the journal is authoritative), so the
-         feature costs one region visit per transaction. *)
-      if t.profile.Profile.meta_replica then begin
-        let lay = t.lay in
-        List.iter
-          (fun b ->
-            (* Only the replica copies themselves stream to the log. *)
-            if b >= lay.Layout.replica_start then
-              match Hashtbl.find_opt t.txn b with
-              | None -> ()
-              | Some data ->
-                  if t.rlog_head >= lay.Layout.rlog_start + lay.Layout.rlog_blocks
-                  then t.rlog_head <- lay.Layout.rlog_start;
-                  (match t.dev.Dev.write t.rlog_head data with
-                  | Ok () -> ()
-                  | Error _ -> () (* the primaries' journal is authoritative *));
-                  t.rlog_head <- t.rlog_head + 1)
-          all_blocks
-      end;
-      if t.aborted then Error Errno.EROFS
-      else begin
-        t.jhead <- !pos;
-        t.jseq <- seq + 1;
-        (* Migrate the transaction to the checkpoint list. *)
-        List.iter
-          (fun b ->
-            match Hashtbl.find_opt t.txn b with
-            | None -> ()
-            | Some data ->
-                if not (Hashtbl.mem t.pending b) then
-                  t.pending_order <- b :: t.pending_order;
-                Hashtbl.replace t.pending b data)
-          all_blocks;
-        Hashtbl.reset t.txn;
-        t.txn_order <- [];
-        t.txn_revoked <- [];
-        Ok ()
-      end
-    end
-  end
+(* Commit and checkpoint are the engine's; ext3 keeps only the abort
+   bookkeeping (wired in via hooks at mount) and the op-level plumbing. *)
+let checkpoint t = Jrnl.checkpoint t.jrnl
+let commit t = Jrnl.commit t.jrnl
 
 (* ------------------------------------------------------------------ *)
 (* Inode access                                                        *)
@@ -775,8 +658,9 @@ let data_read_block t inode fblock =
           | Error _ -> Error Errno.EIO
         else Error Errno.EIO)
 
-(* Write one full block of file data (ordered mode: straight to disk).
-   Updates parity incrementally and the data checksum when enabled. *)
+(* Write one full block of file data, routed by the profile's commit
+   policy. Updates parity incrementally and the data checksum when
+   enabled. *)
 let data_write_block t ino inode fblock data =
   let* b, inode, fresh = bmap_alloc t ino inode fblock in
   (* Parity update must see the old contents. *)
@@ -831,7 +715,11 @@ let data_write_block t ino inode fblock data =
     end
   in
   let* b, inode =
-    match Bcache.write t.cache b data with
+    (* The commit policy routes the data write: ordered modes issue it
+       here (and surface the error to the remap/abort logic below);
+       writeback defers it to checkpoint; data-journal stages it into
+       the transaction, where it can no longer fail. *)
+    match if Jrnl.write_data t.jrnl b data then Ok () else Error () with
     | Ok () -> Ok (b, inode)
     | Error _ when t.profile.Profile.data_remap -> (
         (* RRemap: give the data a new home and repoint the file at it.
@@ -1223,168 +1111,42 @@ let mkfs_impl profile dev =
 (* Mount (including journal recovery)                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Recovery belongs to the journal core; ext3 supplies the Mr-specific
+   fallbacks: reading the journal superblock's replica when the primary
+   is unreadable or corrupt, and refreshing fixed-location replicas of
+   whatever replay just rewrote. *)
 let recover_journal profile lay dev klog =
-  Obs.span_a ~subsystem:"ext3.journal" "recover" @@ fun () ->
-  let bs = lay.Layout.block_size in
-  let jstart = lay.Layout.journal_start in
-  let jlimit = jstart + lay.Layout.journal_len in
-  (* Scratch block for every decode-then-discard read in the scan
-     (superblock, descriptors, revoke probes, commits): the decoders
-     copy what they keep, so one buffer serves the whole recovery
-     instead of one allocation per journal block. Data blocks that are
-     replayed home are still read into their own buffers. *)
-  let scratch = Bytes.create bs in
-  let from_replica why e =
-    if not profile.Profile.meta_replica then Error e
+  let (module P : Jrnl.POLICY) = policy_of_profile profile in
+  let module J = Jrnl.Make (P) in
+  let jsb_fallback =
+    if not profile.Profile.meta_replica then None
     else
-      match Layout.replica_of lay jstart with
-      | None -> Error e
-      | Some r -> (
-          match dev.Dev.read_into r scratch with
-          | Error _ -> Error e
-          | Ok () -> (
-              match Jrec.decode_jsuper scratch with
-              | Some js ->
-                  Klog.warn klog "ixt3"
-                    "journal superblock %s; recovered from replica" why;
-                  Ok js
-              | None -> Error e))
+      Some
+        (fun ~scratch ~why ->
+          match Layout.replica_of lay lay.Layout.journal_start with
+          | None -> None
+          | Some r -> (
+              match dev.Dev.read_into r scratch with
+              | Error _ -> None
+              | Ok () -> (
+                  match Jrec.decode_jsuper scratch with
+                  | Some js ->
+                      Klog.warn klog "ixt3"
+                        "journal superblock %s; recovered from replica" why;
+                      Some js
+                  | None -> None)))
   in
-  let* jsb =
-    match dev.Dev.read_into jstart scratch with
-    | Error _ -> (
-        match from_replica "unreadable" Errno.EIO with
-        | Ok js -> Ok js
-        | Error e ->
-            Klog.error klog "ext3" "journal superblock unreadable";
-            Error e)
-    | Ok () -> (
-        match Jrec.decode_jsuper scratch with
-        | Some js -> Ok js
-        | None -> (
-            match from_replica "corrupt" Errno.EUCLEAN with
-            | Ok js -> Ok js
-            | Error e ->
-                Klog.error klog "ext3" "journal superblock has bad magic";
-                Error e))
-  in
-  (* Scan committed transactions. *)
-  let txns = ref [] in
-  let revokes = Hashtbl.create 8 in
-  let rec scan pos seq =
-    if pos >= jlimit then ()
+  let refresh_replica =
+    if not profile.Profile.meta_replica then None
     else
-      match dev.Dev.read_into pos scratch with
-      | Error _ ->
-          Klog.error klog "ext3" "journal read failed at block %d during recovery" pos
-      | Ok () -> (
-          match Jrec.decode_desc scratch with
-          | None -> () (* end of log *)
-          | Some d when d.Jrec.seq <> seq -> ()
-          | Some d -> (
-              let count = List.length d.Jrec.tags in
-              let copies = ref [] in
-              let ok = ref true in
-              for i = 1 to count do
-                match dev.Dev.read (pos + i) with
-                | Ok c -> copies := c :: !copies
-                | Error _ ->
-                    ok := false;
-                    Klog.error klog "ext3" "journal data read failed during recovery"
-              done;
-              if not !ok then ()
-              else
-                let copies = List.rev !copies in
-                let after = pos + 1 + count in
-                (* Optional revoke block, then the commit. *)
-                let rev, cpos =
-                  match dev.Dev.read_into after scratch with
-                  | Ok () -> (
-                      match Jrec.decode_revoke scratch with
-                      | Some r when r.Jrec.rseq = seq -> (Some r, after + 1)
-                      | Some _ | None -> (None, after))
-                  | Error _ -> (None, after)
-                in
-                match dev.Dev.read_into cpos scratch with
-                | Error _ ->
-                    Klog.error klog "ext3" "journal commit read failed during recovery"
-                | Ok () -> (
-                    match Jrec.decode_commit scratch with
-                    | Some c when c.Jrec.cseq = seq ->
-                        let checksum_ok =
-                          match c.Jrec.checksum with
-                          | None -> true
-                          | Some stored ->
-                              let ctx = Sha1.init () in
-                              List.iter (fun d -> Sha1.feed ctx d) copies;
-                              String.equal stored (Sha1.to_raw (Sha1.finalize ctx))
-                        in
-                        if checksum_ok then begin
-                          (match rev with
-                          | Some r ->
-                              List.iter
-                                (fun b -> Hashtbl.replace revokes b seq)
-                                r.Jrec.revoked
-                          | None -> ());
-                          txns := (seq, List.combine d.Jrec.tags copies) :: !txns;
-                          scan (cpos + 1) (seq + 1)
-                        end
-                        else
-                          Klog.error klog "ixt3"
-                            "transactional checksum mismatch at seq %d; not replaying"
-                            seq
-                    | Some _ | None -> () (* crashed before commit *))))
+      Some
+        (fun home copy ->
+          match Layout.replica_of lay home with
+          | Some r -> (
+              match dev.Dev.write r copy with Ok () -> () | Error _ -> ())
+          | None -> ())
   in
-  scan jsb.Jrec.start jsb.Jrec.sequence;
-  let txns = List.rev !txns in
-  let replay_errors = ref 0 in
-  List.iter
-    (fun (seq, blocks) ->
-      List.iter
-        (fun (home, copy) ->
-          let revoked =
-            match Hashtbl.find_opt revokes home with
-            | Some rseq -> rseq >= seq
-            | None -> false
-          in
-          if (not revoked) && home < lay.Layout.num_blocks then
-            match dev.Dev.write home copy with
-            | Ok () -> ()
-            | Error _ -> incr replay_errors)
-        blocks)
-    txns;
-  (* The replica log is not replayed; refresh the fixed-location
-     replicas of whatever the journal just rewrote so the copies do not
-     diverge from their primaries. *)
-  if profile.Profile.meta_replica then
-    List.iter
-      (fun (_, blocks) ->
-        List.iter
-          (fun (home, copy) ->
-            match Layout.replica_of lay home with
-            | Some r -> (
-                match dev.Dev.write r copy with Ok () -> () | Error _ -> ())
-            | None -> ())
-          blocks)
-      txns;
-  if !replay_errors > 0 then
-    Klog.error klog "ext3" "%d write failures during journal replay" !replay_errors;
-  if !replay_errors > 0 && profile.Profile.check_write_errors then Error Errno.EIO
-  else begin
-    if txns <> [] then
-      Klog.info klog "ext3" "journal: replayed %d transactions" (List.length txns);
-    (* Reset the log. *)
-    let last_seq =
-      match List.rev txns with (s, _) :: _ -> s + 1 | [] -> jsb.Jrec.sequence
-    in
-    let buf = Bytes.make bs '\000' in
-    Jrec.encode_jsuper { Jrec.sequence = last_seq; start = jstart + 1 } buf;
-    (match dev.Dev.write jstart buf with
-    | Ok () -> ()
-    | Error _ -> Klog.error klog "ext3" "journal superblock update failed");
-    ignore (dev.Dev.sync ());
-    Ok last_seq
-  end
+  J.recover ~geo:(geo_of_layout lay) ~dev ~klog ?jsb_fallback ?refresh_replica ()
 
 let mount_impl profile dev =
   let klog = Klog.create ~clock:dev.Dev.now () in
@@ -1467,13 +1229,22 @@ let mount_impl profile dev =
          free_inodes := !free_inodes + Codec.get_u32 r
        done
      with Codec.Decode_error _ -> ());
+    let cache = Bcache.create ~capacity:512 dev in
+    let (module P : Jrnl.POLICY) = policy_of_profile profile in
+    let module J = Jrnl.Make (P) in
+    let jrnl =
+      J.create ~dev ~cache ~klog ~kinds:(kind_of_block lay)
+        ~geo:(geo_of_layout lay)
+        ~journaled:(fun b -> b < lay.Layout.replica_start)
+        ~seq:jseq
+    in
     let t =
       {
         profile;
         dev;
         lay;
         klog;
-        cache = Bcache.create ~capacity:512 dev;
+        cache;
         free_blocks = !free_blocks;
         free_inodes = !free_inodes;
         gd_bitmap;
@@ -1481,13 +1252,7 @@ let mount_impl profile dev =
         gd_itable;
         readonly = false;
         aborted = false;
-        txn = Hashtbl.create 32;
-        txn_order = [];
-        txn_revoked = [];
-        pending = Hashtbl.create 32;
-        pending_order = [];
-        jhead = lay.Layout.journal_start + 1;
-        jseq;
+        jrnl;
         fds = Hashtbl.create 16;
         next_fd = 3;
         cwd = Layout.root_ino;
@@ -1496,6 +1261,43 @@ let mount_impl profile dev =
         rlog_head = lay.Layout.rlog_start;
       }
     in
+    (* The hooks close over the state record, which in turn holds the
+       engine — hence the two-phase construction. Replica copies do not
+       ride the regular journal: they stream to the separate replica
+       log after each commit and reach their fixed homes at checkpoint
+       (§6.1); Mr also shadows the journal superblock itself. *)
+    J.connect jrnl
+      ~on_abort:(fun why -> abort_journal t why)
+      ~aborted:(fun () -> t.aborted)
+      ?jsb_shadow:
+        (if not profile.Profile.meta_replica then None
+         else
+           Some
+             (fun buf ->
+               match Layout.replica_of lay lay.Layout.journal_start with
+               | Some r -> (
+                   match dev.Dev.write r buf with Ok () | Error _ -> ())
+               | None -> ()))
+      ?post_commit:
+        (if not profile.Profile.meta_replica then None
+         else
+           Some
+             (fun blocks ->
+               List.iter
+                 (fun (b, data) ->
+                   (* Only the replica copies themselves stream to the log. *)
+                   if b >= lay.Layout.replica_start then begin
+                     if
+                       t.rlog_head
+                       >= lay.Layout.rlog_start + lay.Layout.rlog_blocks
+                     then t.rlog_head <- lay.Layout.rlog_start;
+                     (match dev.Dev.write t.rlog_head data with
+                     | Ok () -> ()
+                     | Error _ -> () (* the primaries' journal is authoritative *));
+                     t.rlog_head <- t.rlog_head + 1
+                   end)
+                 blocks))
+      ();
     (* Mark the volume dirty. Stock ext3 ignores a failure here too. *)
     let sbuf = Bytes.make lay.Layout.block_size '\000' in
     Sb.encode { sb with Sb.state = Sb.Dirty; mount_count = sb.Sb.mount_count + 1 } sbuf;

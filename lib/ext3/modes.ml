@@ -1,0 +1,22 @@
+module Jrnl = Iron_jrnl.Jrnl
+
+(* The paper's other two ext3 journaling modes (§2.1), as brand-sized
+   policy variants over the shared journal core. Everything else —
+   layout, failure-policy bugs, IRON feature wiring — is the stock ext3
+   profile; only the commit policy handed to the engine differs.
+
+   Writeback journals metadata but leaves data writes to the flusher
+   (our checkpoint), so an fsync makes metadata durable while the data
+   it describes can still be lost — the paper's writeback data-loss
+   window. Data-journal stages file data into the transaction like
+   metadata: data rides the log, and a data-block write can no longer
+   fail at write time at all. *)
+
+let writeback_profile =
+  { Profile.ext3 with Profile.name = "ext3-writeback"; mode = Jrnl.Writeback }
+
+let data_profile =
+  { Profile.ext3 with Profile.name = "ext3-data"; mode = Jrnl.Data_journal }
+
+let writeback = Ext3.brand writeback_profile
+let data = Ext3.brand data_profile

@@ -1,0 +1,18 @@
+(** The paper's other two ext3 journaling modes (§2.1) as brands.
+
+    Stock ext3 runs ordered mode; these variants differ only in the
+    commit policy handed to the shared journal core
+    ({!Iron_jrnl.Jrnl.mode}), which is exactly what makes them
+    brand-sized: the Figure 2 matrix widens by two columns without a
+    new file system. *)
+
+val writeback_profile : Profile.t
+val data_profile : Profile.t
+
+val writeback : Iron_vfs.Fs.brand
+(** [ext3-writeback]: metadata journaled, data written only at
+    checkpoint — fsync leaves a data-loss window. *)
+
+val data : Iron_vfs.Fs.brand
+(** [ext3-data]: file data rides the journal with the metadata; data
+    writes cannot fail at write time. *)

@@ -1,3 +1,5 @@
+module Jrnl = Iron_jrnl.Jrnl
+
 type t = {
   name : string;
   check_write_errors : bool;
@@ -5,11 +7,11 @@ type t = {
   abort_on_journal_write_failure : bool;
   sanity_check_linkcount : bool;
   dir_read_retries : int;
+  mode : Jrnl.mode;
   meta_checksum : bool;
   data_checksum : bool;
   meta_replica : bool;
   data_parity : bool;
-  txn_checksum : bool;
   data_remap : bool;
 }
 
@@ -21,11 +23,11 @@ let ext3 =
     abort_on_journal_write_failure = false;
     sanity_check_linkcount = false;
     dir_read_retries = 1;
+    mode = Jrnl.Ordered;
     meta_checksum = false;
     data_checksum = false;
     meta_replica = false;
     data_parity = false;
-    txn_checksum = false;
     data_remap = false;
   }
 
@@ -38,15 +40,17 @@ let ixt3_with ?(mc = false) ?(mr = false) ?(dc = false) ?(dp = false)
     abort_on_journal_write_failure = true;
     sanity_check_linkcount = true;
     dir_read_retries = 1;
+    mode = (if tc then Jrnl.Tc_checksummed else Jrnl.Ordered);
     meta_checksum = mc;
     data_checksum = dc;
     meta_replica = mr;
     data_parity = dp;
-    txn_checksum = tc;
     data_remap = rm;
   }
 
 let ixt3 = ixt3_with ~mc:true ~mr:true ~dc:true ~dp:true ~tc:true ()
+
+let tc p = p.mode = Jrnl.Tc_checksummed
 
 let variant_label p =
   let parts =
@@ -57,7 +61,7 @@ let variant_label p =
         (p.meta_replica, "Mr");
         (p.data_checksum, "Dc");
         (p.data_parity, "Dp");
-        (p.txn_checksum, "Tc");
+        (tc p, "Tc");
         (p.data_remap, "Rm");
       ]
   in
@@ -65,4 +69,4 @@ let variant_label p =
 
 let any_iron p =
   p.meta_checksum || p.data_checksum || p.meta_replica || p.data_parity
-  || p.txn_checksum || p.data_remap
+  || tc p || p.data_remap

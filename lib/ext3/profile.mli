@@ -3,7 +3,10 @@
     The same implementation serves stock ext3 (with the paper's
     documented bugs left in, §5.1) and the ixt3 family (§6). A profile
     chooses which behaviours are active; the 32 rows of Table 6 are the
-    32 combinations of the five IRON feature bits. *)
+    32 combinations of the five IRON feature bits. The journal commit
+    policy ([mode]) selects among the paper's three ext3 journaling
+    modes plus the Tc variant, and is handed to the shared journal core
+    ({!Iron_jrnl.Jrnl}) at mount. *)
 
 type t = {
   name : string;
@@ -23,12 +26,15 @@ type t = {
   dir_read_retries : int;
       (** Retries after a failed directory-block read (the prefetch-path
           retry the paper observed). Stock ext3: 1. *)
+  mode : Iron_jrnl.Jrnl.mode;
+      (** Commit policy: [Writeback], [Ordered] (the ext3 default),
+          [Data_journal], or [Tc_checksummed] (ordered + the ixt3
+          transactional checksum, §6.1). *)
   (* --- IRON features (§6.1) *)
   meta_checksum : bool;  (** Mc *)
   data_checksum : bool;  (** Dc *)
   meta_replica : bool;  (** Mr *)
   data_parity : bool;  (** Dp *)
-  txn_checksum : bool;  (** Tc *)
   data_remap : bool;
       (** Rm — the taxonomy's RRemap (§3.3): a failed data-block write
           is retried at a freshly allocated location and the file's
@@ -38,7 +44,7 @@ type t = {
 }
 
 val ext3 : t
-(** Stock ext3: bugs present, no IRON features. *)
+(** Stock ext3: bugs present, no IRON features, ordered mode. *)
 
 val ixt3 : t
 (** All IRON features on, all bugs fixed. *)
@@ -48,7 +54,11 @@ val ixt3_with :
   unit -> t
 (** An ixt3 variant with chosen features (defaults: all off). Bug fixes
     are always applied: the paper notes that building ixt3 involved
-    fixing ext3's failure-handling bugs (§6.2). *)
+    fixing ext3's failure-handling bugs (§6.2). [tc] selects
+    [Tc_checksummed] mode; otherwise the variant runs ordered. *)
+
+val tc : t -> bool
+(** Whether the profile's mode carries the transactional checksum. *)
 
 val variant_label : t -> string
 (** E.g. ["Mc Mr Dp"]; ["(ext3)"] for the all-off baseline. *)

@@ -52,4 +52,4 @@ let features_of_profile (p : Profile.t) =
   lor (if p.Profile.data_checksum then 2 else 0)
   lor (if p.Profile.meta_replica then 4 else 0)
   lor (if p.Profile.data_parity then 8 else 0)
-  lor if p.Profile.txn_checksum then 16 else 0
+  lor if Profile.tc p then 16 else 0

@@ -6,6 +6,9 @@ module Klog = Iron_vfs.Klog
 module Fs = Iron_vfs.Fs
 module Fdtable = Iron_vfs.Fdtable
 module Resolver = Iron_vfs.Resolver
+module Jrnl = Iron_jrnl.Jrnl
+module Record = Iron_jrnl.Jrnl.Record
+module Kind = Iron_jrnl.Kind
 
 let ( let* ) = Result.bind
 
@@ -28,8 +31,6 @@ let first_data = itable_start + itable_blocks
 
 let super_magic = 0x4A465331 (* "JFS1" *)
 let aggr_magic = 0x4A414747
-let jsuper_magic = 0x4A4C4F47
-let jdata_magic = 0x4A4C4442
 
 let root_ino = 2
 let inode_size = 128
@@ -238,115 +239,30 @@ let decode_counted buf =
 
 (* ---- record-level journal ------------------------------------------- *)
 
-type record = { r_tx : int; r_commit : bool; r_block : int; r_off : int; r_data : string }
+(* The diff-based record engine lives in the shared journal core
+   ({!Iron_jrnl.Jrnl.Record}); jfs supplies its geometry and typed
+   block map. *)
+let jgeo num_blocks =
+  {
+    Jrnl.jsb = jsuper_block;
+    jfirst = jdata_start;
+    jend = jdata_start + journal_len;
+    num_blocks;
+  }
 
-let record_size r = 4 + 1 + 4 + 2 + 2 + String.length r.r_data
-
-let encode_records bs records =
-  (* Pack into j-data payload blocks: each block is {magic, count,
-     records...}. Returns the block images in order. *)
-  let blocks = ref [] in
-  let buf = ref (Bytes.make bs '\000') in
-  let w = ref (Codec.writer !buf) in
-  let count = ref 0 in
-  let start_block () =
-    buf := Bytes.make bs '\000';
-    w := Codec.writer !buf;
-    Codec.put_u32 !w jdata_magic;
-    Codec.put_u16 !w 0;
-    count := 0
-  in
-  let flush () =
-    if !count > 0 then begin
-      Bytes.set_uint16_le !buf 4 !count;
-      blocks := !buf :: !blocks
-    end
-  in
-  start_block ();
-  List.iter
-    (fun r ->
-      if Codec.writer_pos !w + record_size r > bs then begin
-        flush ();
-        start_block ()
-      end;
-      Codec.put_u32 !w r.r_tx;
-      Codec.put_u8 !w (if r.r_commit then 2 else 1);
-      Codec.put_u32 !w r.r_block;
-      Codec.put_u16 !w r.r_off;
-      Codec.put_u16 !w (String.length r.r_data);
-      Codec.put_string !w r.r_data;
-      incr count)
-    records;
-  flush ();
-  List.rev !blocks
-
-let decode_record_block buf =
-  try
-    let r = Codec.reader buf in
-    if Codec.get_u32 r <> jdata_magic then None
-    else
-      let n = Codec.get_u16 r in
-      if n > 1024 then None
-      else
-        let rec go k acc =
-          if k = 0 then Some (List.rev acc)
-          else
-            let r_tx = Codec.get_u32 r in
-            let kind = Codec.get_u8 r in
-            let r_block = Codec.get_u32 r in
-            let r_off = Codec.get_u16 r in
-            let len = Codec.get_u16 r in
-            if len > Codec.remaining r then None
-            else
-              let r_data = Codec.get_string r len in
-              go (k - 1) ({ r_tx; r_commit = kind = 2; r_block; r_off; r_data } :: acc)
-        in
-        go n []
-  with Codec.Decode_error _ -> None
-
-let encode_jsuper txid start buf =
-  Bytes.fill buf 0 (Bytes.length buf) '\000';
-  let w = Codec.writer buf in
-  Codec.put_u32 w jsuper_magic;
-  Codec.put_u32 w txid;
-  Codec.put_u32 w start
-
-let decode_jsuper buf =
-  try
-    let r = Codec.reader buf in
-    if Codec.get_u32 r <> jsuper_magic then None
-    else
-      let txid = Codec.get_u32 r in
-      let start = Codec.get_u32 r in
-      Some (txid, start)
-  with Codec.Decode_error _ -> None
-
-(* Scan committed records from the log; shared by recovery and the
-   gray-box classifier. [read b] returns the block or None. Records
-   from transactions older than the journal superblock's txid have
-   already been checkpointed home and must not replay again. *)
-let scan_committed read ~min_tx start =
-  let jlimit = jdata_start + journal_len in
-  let records = ref [] in
-  let rec scan pos =
-    if pos < jlimit then
-      match read pos with
-      | None -> ()
-      | Some buf -> (
-          match decode_record_block buf with
-          | None -> ()
-          | Some rs ->
-              records := rs :: !records;
-              scan (pos + 1))
-  in
-  scan (max jdata_start start);
-  let all =
-    List.filter (fun r -> r.r_tx >= min_tx) (List.concat (List.rev !records))
-  in
-  let committed =
-    List.filter_map (fun r -> if r.r_commit then Some r.r_tx else None) all
-  in
-  List.filter (fun r -> (not r.r_commit) && List.mem r.r_tx committed) all
+let kind_of_block num_blocks b =
+  if b = super_primary || b = super_secondary then Kind.Superblock
+  else if
+    b = aggr_primary || b = aggr_secondary || b = bmap_desc_block
+    || b = imap_cntl_block
+  then Kind.Gdesc
+  else if b = bmap_block then Kind.Bitmap
+  else if b = imap_block then Kind.Ibitmap
+  else if b = jsuper_block then Kind.Jsb
+  else if b >= jdata_start && b < jdata_start + journal_len then Kind.Jdata
+  else if b >= itable_start && b < itable_start + itable_blocks then Kind.Inode
+  else if b >= first_data && b < num_blocks then Kind.Data
+  else Kind.Unknown
 
 (* ---- state ----------------------------------------------------------- *)
 
@@ -358,12 +274,8 @@ type state = {
   klog : Klog.t;
   cache : Bcache.t;
   num_blocks : int;
-  (* overlay: current in-memory page state; records: since last commit *)
-  overlay : (int, bytes) Hashtbl.t;
-  mutable overlay_order : int list;
-  mutable records : record list; (* newest first *)
-  mutable txid : int;
-  mutable jpos : int; (* next free j-data block *)
+  (* journal overlay and record emission live in the shared engine *)
+  jrnl : Record.t;
   mutable free_blocks : int;
   mutable free_inodes : int;
   fds : fdesc Fdtable.t;
@@ -380,7 +292,7 @@ let now_seconds t = int_of_float (t.dev.Dev.now () /. 1000.)
 (* The generic file-system layer retries every failed metadata read a
    single time (§5.3). *)
 let meta_read t b =
-  match Hashtbl.find_opt t.overlay b with
+  match Record.find t.jrnl b with
   | Some d -> Ok (Bytes.copy d)
   | None -> (
       match Bcache.read t.cache b with
@@ -391,124 +303,20 @@ let meta_read t b =
           | Ok d -> Ok d
           | Error _ -> Error Errno.EIO))
 
-(* Diff-based record emission: this is what makes the journal
-   "record-level" — only the changed byte ranges are logged. *)
-let diff_ranges old fresh =
-  let n = Bytes.length fresh in
-  let ranges = ref [] in
-  let i = ref 0 in
-  while !i < n do
-    if Bytes.get old !i <> Bytes.get fresh !i then begin
-      let start = !i in
-      let last = ref !i in
-      let j = ref (!i + 1) in
-      let gap = ref 0 in
-      while !j < n && !gap < 32 do
-        if Bytes.get old !j <> Bytes.get fresh !j then begin
-          last := !j;
-          gap := 0
-        end
-        else incr gap;
-        incr j
-      done;
-      ranges := (start, !last - start + 1) :: !ranges;
-      i := !last + 1
-    end
-    else incr i
-  done;
-  List.rev !ranges
-
+(* Diff-based record emission, commit and checkpoint are the engine's;
+   jfs keeps only the readonly guard and the VFS-facing result types. *)
 let meta_write t b data =
   if t.readonly then Error Errno.EROFS
   else begin
-    let old =
-      match Hashtbl.find_opt t.overlay b with
-      | Some d -> d
-      | None -> (
-          match Bcache.read t.cache b with
-          | Ok d -> d
-          | Error _ -> Bytes.make t.bs '\000')
-    in
-    let ranges = diff_ranges old data in
-    List.iter
-      (fun (off, len) ->
-        (* Records larger than a journal block are chunked. *)
-        let rec chunk off len =
-          let maxlen = t.bs - 32 in
-          let l = min len maxlen in
-          t.records <-
-            {
-              r_tx = t.txid;
-              r_commit = false;
-              r_block = b;
-              r_off = off;
-              r_data = Bytes.sub_string data off l;
-            }
-            :: t.records;
-          if len > l then chunk (off + l) (len - l)
-        in
-        if len > 0 then chunk off len)
-      ranges;
-    if not (Hashtbl.mem t.overlay b) then t.overlay_order <- b :: t.overlay_order;
-    Hashtbl.replace t.overlay b (Bytes.copy data);
+    Record.write t.jrnl b data;
     Ok ()
   end
 
-let write_jsuper t =
-  let buf = zero_block t in
-  encode_jsuper t.txid jdata_start buf;
-  match t.dev.Dev.write jsuper_block buf with
-  | Ok () -> ()
-  | Error _ ->
-      (* The one write error JFS does handle — by crashing (§5.3). *)
-      Klog.panic t.klog "jfs" "journal superblock write failed; halting"
-
-(* Checkpoint: apply the overlay to home locations. Write errors are
-   ignored entirely (DZero). *)
-let checkpoint t =
-  List.iter
-    (fun b ->
-      match Hashtbl.find_opt t.overlay b with
-      | None -> ()
-      | Some data -> (
-          match Bcache.write t.cache b data with Ok () -> () | Error _ -> ()))
-    (List.sort compare (List.rev t.overlay_order));
-  Hashtbl.reset t.overlay;
-  t.overlay_order <- [];
-  t.jpos <- jdata_start;
-  t.txid <- t.txid + 1;
-  write_jsuper t;
-  ignore (t.dev.Dev.sync ())
+let checkpoint t = Record.checkpoint t.jrnl
 
 let commit t =
-  if t.records = [] then Ok ()
-  else begin
-    let records =
-      List.rev
-        ({ r_tx = t.txid; r_commit = true; r_block = 0; r_off = 0; r_data = "" }
-        :: t.records)
-    in
-    let blocks = encode_records t.bs records in
-    if t.jpos + List.length blocks > jdata_start + journal_len then checkpoint t;
-    if t.jpos + List.length blocks > jdata_start + journal_len then begin
-      (* Oversized transaction: it has already been checkpointed home. *)
-      t.records <- [];
-      Ok ()
-    end
-    else begin
-      List.iter
-        (fun img ->
-          (match t.dev.Dev.write t.jpos img with
-          | Ok () -> ()
-          | Error _ -> () (* journal-data write errors: ignored *));
-          t.jpos <- t.jpos + 1)
-        blocks;
-      ignore (t.dev.Dev.sync ());
-      t.records <- [];
-      t.txid <- t.txid + 1;
-      Ok ()
-    end
-  end
+  Record.commit t.jrnl;
+  Ok ()
 
 (* ---- allocation ------------------------------------------------------ *)
 
@@ -935,66 +743,12 @@ let mkfs_impl dev =
   encode_counted (total_inodes - 2) cnt2;
   let* () = wr imap_cntl_block cnt2 in
   let js = Bytes.make bs '\000' in
-  encode_jsuper 1 jdata_start js;
+  Record.encode_jsuper 1 jdata_start js;
   let* () = wr jsuper_block js in
   match dev.Dev.sync () with Ok () -> Ok () | Error _ -> Error Errno.EIO
 
 let recover_journal dev klog =
-  (* One scratch block serves the whole recovery: the journal decoders
-     and [scan_committed] copy what they keep ([decode_record_block]
-     extracts strings), and replayed blocks are patched in place and
-     written straight back. *)
-  let scratch = Bytes.create dev.Dev.block_size in
-  let* txid, start =
-    match dev.Dev.read_into jsuper_block scratch with
-    | Error _ ->
-        Klog.error klog "jfs" "journal superblock unreadable";
-        Error Errno.EIO
-    | Ok () -> (
-        match decode_jsuper scratch with
-        | Some v -> Ok v
-        | None ->
-            Klog.error klog "jfs" "journal superblock bad magic";
-            Error Errno.EUCLEAN)
-  in
-  let read b =
-    match dev.Dev.read_into b scratch with
-    | Ok () -> Some scratch
-    | Error _ -> None
-  in
-  let records = scan_committed read ~min_tx:txid start in
-  let* () =
-    (* Replay, with sanity checking; a failure aborts the replay and the
-       mount (§5.3). *)
-    List.fold_left
-      (fun acc r ->
-        let* () = acc in
-        if r.r_block >= dev.Dev.num_blocks || r.r_off + String.length r.r_data > dev.Dev.block_size
-        then begin
-          Klog.error klog "jfs" "journal record fails sanity check; aborting replay";
-          Error Errno.EUCLEAN
-        end
-        else
-          match dev.Dev.read_into r.r_block scratch with
-          | Error _ ->
-              Klog.error klog "jfs" "replay read of block %d failed" r.r_block;
-              Ok ()
-          | Ok () ->
-              Bytes.blit_string r.r_data 0 scratch r.r_off
-                (String.length r.r_data);
-              (match dev.Dev.write r.r_block scratch with
-              | Ok () -> ()
-              | Error _ -> ());
-              Ok ())
-      (Ok ()) records
-  in
-  if records <> [] then
-    Klog.info klog "jfs" "journal: replayed %d records" (List.length records);
-  let js = Bytes.make dev.Dev.block_size '\000' in
-  encode_jsuper (txid + 1) jdata_start js;
-  (match dev.Dev.write jsuper_block js with Ok () -> () | Error _ -> ());
-  ignore (dev.Dev.sync ());
-  Ok (txid + 1)
+  Record.recover ~tag:"jfs" ~geo:(jgeo dev.Dev.num_blocks) ~dev ~klog ()
 
 let mount_impl dev =
   let klog = Klog.create ~clock:dev.Dev.now () in
@@ -1064,18 +818,18 @@ let mount_impl dev =
             Klog.error klog "jfs" "inode map control equality check failed";
             Error Errno.EUCLEAN)
   in
+  let cache = Bcache.create ~capacity:512 dev in
   Ok
     {
       dev;
       bs = dev.Dev.block_size;
       klog;
-      cache = Bcache.create ~capacity:512 dev;
+      cache;
       num_blocks;
-      overlay = Hashtbl.create 32;
-      overlay_order = [];
-      records = [];
-      txid;
-      jpos = jdata_start;
+      jrnl =
+        Record.create ~tag:"jfs" ~dev ~cache ~klog
+          ~kinds:(kind_of_block num_blocks)
+          ~geo:(jgeo dev.Dev.num_blocks) ~txid;
       free_blocks;
       free_inodes;
       fds = Fdtable.create ();
@@ -1206,31 +960,33 @@ let classify raw =
     let min_tx, start =
       match read jsuper_block with
       | Some buf -> (
-          match decode_jsuper buf with
+          match Record.decode_jsuper buf with
           | Some (tx, s) -> (tx, s)
           | None -> (0, jdata_start))
       | None -> (0, jdata_start)
     in
-    let records = scan_committed read ~min_tx start in
+    let records = Record.scan_committed ~geo:(jgeo num_blocks) read ~min_tx start in
     let pages = Hashtbl.create 16 in
     List.iter
       (fun r ->
         let page =
-          match Hashtbl.find_opt pages r.r_block with
+          match Hashtbl.find_opt pages r.Record.r_block with
           | Some p -> p
           | None -> (
-              match read r.r_block with
+              match read r.Record.r_block with
               | Some p ->
                   let p = Bytes.copy p in
-                  Hashtbl.replace pages r.r_block p;
+                  Hashtbl.replace pages r.Record.r_block p;
                   p
               | None ->
                   let p = Bytes.make 4096 '\000' in
-                  Hashtbl.replace pages r.r_block p;
+                  Hashtbl.replace pages r.Record.r_block p;
                   p)
         in
-        if r.r_off + String.length r.r_data <= Bytes.length page then
-          Bytes.blit_string r.r_data 0 page r.r_off (String.length r.r_data))
+        if r.Record.r_off + String.length r.Record.r_data <= Bytes.length page
+        then
+          Bytes.blit_string r.Record.r_data 0 page r.Record.r_off
+            (String.length r.Record.r_data))
       records;
     let raw' b =
       match Hashtbl.find_opt pages b with
@@ -1429,12 +1185,18 @@ let brand =
             let fblock = (off + pos) / t.bs in
             let boff = (off + pos) mod t.bs in
             let n = min (t.bs - boff) (len - pos) in
+            let* existing = bmap t !inode fblock in
             let* b, inode' = bmap_alloc t fd_ino !inode fblock in
             inode := inode';
             let* buf =
               if boff = 0 && n = t.bs then Ok (Bytes.sub data pos n)
               else
                 let* old = data_read_block t !inode fblock in
+                (* A freshly mapped block still holds whatever its last
+                   owner wrote; splicing into that leaks freed data. The
+                   read stays (the request stream is part of the failure
+                   fingerprint) but the baseline must be zeros. *)
+                let old = if existing = 0 then zero_block t else old in
                 Bytes.blit data pos old boff n;
                 Ok old
             in

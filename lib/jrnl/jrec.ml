@@ -47,7 +47,7 @@ let decode_desc buf =
         Some { seq; tags }
   with Codec.Decode_error _ -> None
 
-let max_tags lay = (lay.Layout.block_size - 12) / 4
+let max_tags block_size = (block_size - 12) / 4
 
 type commit = { cseq : int; checksum : string option }
 

@@ -26,7 +26,10 @@ type desc = { seq : int; tags : int list  (** home block numbers *) }
 
 val encode_desc : desc -> bytes -> unit
 val decode_desc : bytes -> desc option
-val max_tags : Layout.t -> int
+
+val max_tags : int -> int
+(** [max_tags block_size] is the number of home-block tags one
+    descriptor block can carry. *)
 
 type commit = { cseq : int; checksum : string option  (** raw SHA-1 *) }
 

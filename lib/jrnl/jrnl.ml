@@ -1,0 +1,841 @@
+module Dev = Iron_disk.Dev
+module Bcache = Iron_disk.Bcache
+module Errno = Iron_vfs.Errno
+module Klog = Iron_vfs.Klog
+module Obs = Iron_obs.Obs
+open Iron_util
+
+let ( let* ) = Result.bind
+
+(* The paper's three ext3 journaling modes (§2.1) plus the ixt3
+   transactional-checksum variant (§6.1), which is ordered mode with the
+   commit block carrying a SHA-1 over the payload so the pre-commit
+   barrier can be elided. *)
+type mode = Writeback | Ordered | Data_journal | Tc_checksummed
+
+let mode_label = function
+  | Writeback -> "writeback"
+  | Ordered -> "ordered"
+  | Data_journal -> "data-journal"
+  | Tc_checksummed -> "ordered+tc"
+
+(* IRON detection/reaction levels that change how the journal itself
+   responds to device errors. Stock ext3 has both off: it drops the
+   error code (DZero) and presses on. *)
+type iron = {
+  abort_on_journal_write_failure : bool;
+      (** a failed journal-data write stops the commit block (ixt3);
+          [false] reproduces the paper's replay-corruption bug *)
+  check_write_errors : bool;
+      (** checkpoint / journal-superblock write errors abort the
+          journal instead of vanishing *)
+}
+
+let stock_iron = { abort_on_journal_write_failure = false; check_write_errors = false }
+
+module type POLICY = sig
+  val tag : string
+  (** klog subsystem tag; fingerprint classification greps these
+      messages, so the tag is part of the observable failure policy *)
+
+  val mode : mode
+  val iron : iron
+end
+
+type geometry = {
+  jsb : int;  (** journal superblock *)
+  jfirst : int;  (** first log block *)
+  jend : int;  (** one past the last log block *)
+  num_blocks : int;  (** device size; replay refuses homes beyond it *)
+}
+
+(* Hooks connect the engine back to file-system state that cannot exist
+   before the engine does (mount builds the engine first, then the FS
+   state closing over it). All are optional behaviors layered on the
+   core protocol: replica streaming, journal-superblock shadows, abort
+   plumbing. *)
+type hooks = {
+  mutable on_abort : string -> unit;
+  mutable aborted : unit -> bool;
+  mutable jsb_shadow : (bytes -> unit) option;
+      (** called with the encoded journal superblock before the primary
+          write (ixt3 Mr keeps a replica of it) *)
+  mutable post_commit : ((int * bytes) list -> unit) option;
+      (** called after the commit barrier with the full transaction
+          (home, image) list (ixt3 Mr streams replica copies to the
+          replica log here) *)
+}
+
+type config = {
+  tag : string;
+  mode : mode;
+  iron : iron;
+  dev : Dev.t;
+  cache : Bcache.t;
+  klog : Klog.t;
+  kinds : int -> Kind.t;
+  geo : geometry;
+  journaled : int -> bool;
+      (** which staged blocks ride the log; the rest reach their homes
+          by other means (ext3's replica copies stream separately) *)
+}
+
+type t = {
+  cfg : config;
+  hooks : hooks;
+  txn : (int, bytes) Hashtbl.t;
+  mutable txn_order : int list; (* newest first *)
+  mutable txn_revoked : int list;
+  pending : (int, bytes) Hashtbl.t;
+  mutable pending_order : int list; (* newest first *)
+  mutable jhead : int;
+  mutable jseq : int;
+}
+
+let create cfg ~seq =
+  {
+    cfg;
+    hooks =
+      {
+        on_abort = (fun _ -> ());
+        aborted = (fun () -> false);
+        jsb_shadow = None;
+        post_commit = None;
+      };
+    txn = Hashtbl.create 32;
+    txn_order = [];
+    txn_revoked = [];
+    pending = Hashtbl.create 32;
+    pending_order = [];
+    jhead = cfg.geo.jfirst;
+    jseq = seq;
+  }
+
+let connect t ~on_abort ~aborted ?jsb_shadow ?post_commit () =
+  t.hooks.on_abort <- on_abort;
+  t.hooks.aborted <- aborted;
+  t.hooks.jsb_shadow <- jsb_shadow;
+  t.hooks.post_commit <- post_commit
+
+let abort t why = t.hooks.on_abort why
+let aborted t = t.hooks.aborted ()
+let kind t b = t.cfg.kinds b
+let zero_block t = Bytes.make t.cfg.dev.Dev.block_size '\000'
+
+(* ------------------------------------------------------------------ *)
+(* Transaction overlay                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find t b =
+  match Hashtbl.find_opt t.txn b with
+  | Some d -> Some d
+  | None -> Hashtbl.find_opt t.pending b
+
+let stage t b data =
+  (* The one invariant the typed layout enforces unconditionally: the
+     journal never journals its own region. *)
+  if Kind.is_journal_region (t.cfg.kinds b) then
+    Klog.error t.cfg.klog t.cfg.tag "refusing to journal journal block %d" b
+  else begin
+    if not (Hashtbl.mem t.txn b) then t.txn_order <- b :: t.txn_order;
+    Hashtbl.replace t.txn b (Bytes.copy data)
+  end
+
+let revoke t b =
+  if not (List.mem b t.txn_revoked) then t.txn_revoked <- b :: t.txn_revoked
+
+(* Data writes route by commit policy. Ordered (and its Tc variant)
+   issues them straight to disk before the metadata commits — the error
+   is surfaced so the caller can apply its failure policy (remap,
+   abort, or drop it on the floor like stock ext3). Writeback defers
+   the write to the next checkpoint: fsync makes the metadata durable
+   but not the data, the paper's data-loss window. Data-journal stages
+   the block into the transaction like metadata, so the data write can
+   no longer fail here at all. Returns [false] only on a device write
+   failure in the ordered modes. *)
+let write_data t b data =
+  match t.cfg.mode with
+  | Ordered | Tc_checksummed -> (
+      match Bcache.write t.cfg.cache b data with Ok () -> true | Error _ -> false)
+  | Writeback ->
+      if not (Hashtbl.mem t.pending b) then t.pending_order <- b :: t.pending_order;
+      Hashtbl.replace t.pending b (Bytes.copy data);
+      true
+  | Data_journal ->
+      stage t b data;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Commit, checkpoint                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Write one block into the journal region. Stock ext3 drops the error
+   and keeps committing — the bug the paper documents (§5.1); ixt3
+   aborts the journal. Returns false only when aborted. *)
+let journal_write t jb data =
+  match t.cfg.dev.Dev.write jb data with
+  | Ok () -> true
+  | Error _ ->
+      (* Stock ext3 does not even record the error code (DZero) and
+         presses on with the commit block — the replay-corruption bug.
+         ixt3 logs and aborts. *)
+      if t.cfg.iron.abort_on_journal_write_failure then begin
+        Klog.error t.cfg.klog t.cfg.tag "journal write to block %d failed" jb;
+        abort t "journal write failure";
+        false
+      end
+      else true
+
+let write_jsuper t =
+  let buf = zero_block t in
+  Jrec.encode_jsuper { Jrec.sequence = t.jseq; start = t.jhead } buf;
+  (match t.hooks.jsb_shadow with Some f -> f buf | None -> ());
+  match t.cfg.dev.Dev.write t.cfg.geo.jsb buf with
+  | Ok () -> true
+  | Error _ ->
+      if t.cfg.iron.check_write_errors then begin
+        Klog.error t.cfg.klog t.cfg.tag "journal superblock write failed";
+        abort t "journal superblock write failure";
+        false
+      end
+      else true
+
+(* Checkpoint: push committed blocks to their home locations and reset
+   the log. Stock ext3 ignores checkpoint write failures entirely —
+   DZero on writes. *)
+let checkpoint t =
+  Obs.span_a ~subsystem:"jrnl" "checkpoint" @@ fun () ->
+  (* Elevator order: writeback sweeps the disk in one direction, as the
+     kernel's flusher would, instead of seeking in insertion order. *)
+  let blocks = List.sort compare (List.rev t.pending_order) in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt t.pending b with
+      | None -> ()
+      | Some data -> (
+          match Bcache.write t.cfg.cache b data with
+          | Ok () -> ()
+          | Error _ ->
+              if t.cfg.iron.check_write_errors then begin
+                Klog.error t.cfg.klog t.cfg.tag "checkpoint write to block %d failed" b;
+                abort t "checkpoint write failure"
+              end))
+    blocks;
+  Hashtbl.reset t.pending;
+  t.pending_order <- [];
+  t.jhead <- t.cfg.geo.jfirst;
+  ignore (write_jsuper t);
+  ignore (t.cfg.dev.Dev.sync ())
+
+let commit t =
+  if Hashtbl.length t.txn = 0 && t.txn_revoked = [] then Ok ()
+  else if aborted t then Error Errno.EROFS
+  else
+    Obs.span_a ~subsystem:"jrnl" "commit" @@ fun () ->
+    begin
+    let tc = t.cfg.mode = Tc_checksummed in
+    (* Blocks the policy excludes from the log (ext3's replica copies
+       stream to the separate replica log via [post_commit], §6.1) still
+       reach their fixed homes at checkpoint. *)
+    let all_blocks = List.rev t.txn_order in
+    let blocks = List.filter t.cfg.journaled all_blocks in
+    let needed = 2 + List.length blocks + (if t.txn_revoked = [] then 0 else 1) in
+    if t.jhead + needed > t.cfg.geo.jend then checkpoint t;
+    if aborted t then Error Errno.EROFS
+    else if t.jhead + needed > t.cfg.geo.jend then begin
+      (* A single transaction larger than the log: flush directly. This
+         sacrifices atomicity for this oversized transaction, which the
+         real system avoids by bounding transaction size; our workloads
+         never hit it, but fault injection might. *)
+      Klog.warn t.cfg.klog t.cfg.tag "transaction larger than journal; direct flush";
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt t.txn b with
+          | Some data -> ignore (Bcache.write t.cfg.cache b data)
+          | None -> ())
+        blocks;
+      Hashtbl.reset t.txn;
+      t.txn_order <- [];
+      t.txn_revoked <- [];
+      Ok ()
+    end
+    else begin
+      let seq = t.jseq in
+      let buf = zero_block t in
+      Jrec.encode_desc { Jrec.seq; tags = blocks } buf;
+      let ok = ref (journal_write t t.jhead buf) in
+      let pos = ref (t.jhead + 1) in
+      let cksum_ctx = Sha1.init () in
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt t.txn b with
+          | None -> ()
+          | Some data ->
+              if !ok then ok := journal_write t !pos data;
+              if tc then Sha1.feed cksum_ctx data;
+              incr pos)
+        blocks;
+      if t.txn_revoked <> [] then begin
+        let rbuf = zero_block t in
+        Jrec.encode_revoke { Jrec.rseq = seq; revoked = t.txn_revoked } rbuf;
+        if !ok then ok := journal_write t !pos rbuf;
+        incr pos
+      end;
+      (* The ordering point: without transactional checksums the commit
+         block may only be issued once the journal payload is durable,
+         which costs a rotation (§6.1). With Tc the commit streams out
+         with the payload. *)
+      if not tc then ignore (t.cfg.dev.Dev.sync ());
+      let cbuf = zero_block t in
+      let checksum =
+        if tc then Some (Sha1.to_raw (Sha1.finalize cksum_ctx)) else None
+      in
+      Jrec.encode_commit { Jrec.cseq = seq; checksum } cbuf;
+      if !ok then ok := journal_write t !pos cbuf;
+      incr pos;
+      ignore (t.cfg.dev.Dev.sync ());
+      (* Issued after the commit (the journal is authoritative), so the
+         hook costs one region visit per transaction. *)
+      (match t.hooks.post_commit with
+      | None -> ()
+      | Some f ->
+          f
+            (List.filter_map
+               (fun b ->
+                 match Hashtbl.find_opt t.txn b with
+                 | Some data -> Some (b, data)
+                 | None -> None)
+               all_blocks));
+      if aborted t then Error Errno.EROFS
+      else begin
+        t.jhead <- !pos;
+        t.jseq <- seq + 1;
+        (* Migrate the transaction to the checkpoint list. *)
+        List.iter
+          (fun b ->
+            match Hashtbl.find_opt t.txn b with
+            | None -> ()
+            | Some data ->
+                if not (Hashtbl.mem t.pending b) then
+                  t.pending_order <- b :: t.pending_order;
+                Hashtbl.replace t.pending b data)
+          all_blocks;
+        Hashtbl.reset t.txn;
+        t.txn_order <- [];
+        t.txn_revoked <- [];
+        Ok ()
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let recover ~tag ~iron ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
+  Obs.span_a ~subsystem:"jrnl" "recover" @@ fun () ->
+  let bs = dev.Dev.block_size in
+  (* Scratch block for every decode-then-discard read in the scan
+     (superblock, descriptors, revoke probes, commits): the decoders
+     copy what they keep, so one buffer serves the whole recovery
+     instead of one allocation per journal block. Data blocks that are
+     replayed home are still read into their own buffers. *)
+  let scratch = Bytes.create bs in
+  let from_replica why e =
+    match jsb_fallback with
+    | None -> Error e
+    | Some f -> ( match f ~scratch ~why with Some js -> Ok js | None -> Error e)
+  in
+  let* jsb =
+    match dev.Dev.read_into geo.jsb scratch with
+    | Error _ -> (
+        match from_replica "unreadable" Errno.EIO with
+        | Ok js -> Ok js
+        | Error e ->
+            Klog.error klog tag "journal superblock unreadable";
+            Error e)
+    | Ok () -> (
+        match Jrec.decode_jsuper scratch with
+        | Some js -> Ok js
+        | None -> (
+            match from_replica "corrupt" Errno.EUCLEAN with
+            | Ok js -> Ok js
+            | Error e ->
+                Klog.error klog tag "journal superblock has bad magic";
+                Error e))
+  in
+  (* Scan committed transactions. *)
+  let txns = ref [] in
+  let revokes = Hashtbl.create 8 in
+  let rec scan pos seq =
+    if pos >= geo.jend then ()
+    else
+      match dev.Dev.read_into pos scratch with
+      | Error _ ->
+          Klog.error klog tag "journal read failed at block %d during recovery" pos
+      | Ok () -> (
+          match Jrec.decode_desc scratch with
+          | None -> () (* end of log *)
+          | Some d when d.Jrec.seq <> seq -> ()
+          | Some d -> (
+              let count = List.length d.Jrec.tags in
+              let copies = ref [] in
+              let ok = ref true in
+              for i = 1 to count do
+                match dev.Dev.read (pos + i) with
+                | Ok c -> copies := c :: !copies
+                | Error _ ->
+                    ok := false;
+                    Klog.error klog tag "journal data read failed during recovery"
+              done;
+              if not !ok then ()
+              else
+                let copies = List.rev !copies in
+                let after = pos + 1 + count in
+                (* Optional revoke block, then the commit. *)
+                let rev, cpos =
+                  match dev.Dev.read_into after scratch with
+                  | Ok () -> (
+                      match Jrec.decode_revoke scratch with
+                      | Some r when r.Jrec.rseq = seq -> (Some r, after + 1)
+                      | Some _ | None -> (None, after))
+                  | Error _ -> (None, after)
+                in
+                match dev.Dev.read_into cpos scratch with
+                | Error _ ->
+                    Klog.error klog tag "journal commit read failed during recovery"
+                | Ok () -> (
+                    match Jrec.decode_commit scratch with
+                    | Some c when c.Jrec.cseq = seq ->
+                        let checksum_ok =
+                          match c.Jrec.checksum with
+                          | None -> true
+                          | Some stored ->
+                              let ctx = Sha1.init () in
+                              List.iter (fun d -> Sha1.feed ctx d) copies;
+                              String.equal stored (Sha1.to_raw (Sha1.finalize ctx))
+                        in
+                        if checksum_ok then begin
+                          (match rev with
+                          | Some r ->
+                              List.iter
+                                (fun b -> Hashtbl.replace revokes b seq)
+                                r.Jrec.revoked
+                          | None -> ());
+                          txns := (seq, List.combine d.Jrec.tags copies) :: !txns;
+                          scan (cpos + 1) (seq + 1)
+                        end
+                        else
+                          Klog.error klog "ixt3"
+                            "transactional checksum mismatch at seq %d; not replaying"
+                            seq
+                    | Some _ | None -> () (* crashed before commit *))))
+  in
+  scan jsb.Jrec.start jsb.Jrec.sequence;
+  let txns = List.rev !txns in
+  let replay_errors = ref 0 in
+  List.iter
+    (fun (seq, blocks) ->
+      List.iter
+        (fun (home, copy) ->
+          let revoked =
+            match Hashtbl.find_opt revokes home with
+            | Some rseq -> rseq >= seq
+            | None -> false
+          in
+          if (not revoked) && home < geo.num_blocks then
+            match dev.Dev.write home copy with
+            | Ok () -> ()
+            | Error _ -> incr replay_errors)
+        blocks)
+    txns;
+  (* The replica log is not replayed; refresh the fixed-location
+     replicas of whatever the journal just rewrote so the copies do not
+     diverge from their primaries. *)
+  (match refresh_replica with
+  | None -> ()
+  | Some refresh ->
+      List.iter
+        (fun (_, blocks) ->
+          List.iter (fun (home, copy) -> refresh home copy) blocks)
+        txns);
+  if !replay_errors > 0 then
+    Klog.error klog tag "%d write failures during journal replay" !replay_errors;
+  if !replay_errors > 0 && iron.check_write_errors then Error Errno.EIO
+  else begin
+    if txns <> [] then
+      Klog.info klog tag "journal: replayed %d transactions" (List.length txns);
+    (* Reset the log. *)
+    let last_seq =
+      match List.rev txns with (s, _) :: _ -> s + 1 | [] -> jsb.Jrec.sequence
+    in
+    let buf = Bytes.make bs '\000' in
+    Jrec.encode_jsuper { Jrec.sequence = last_seq; start = geo.jfirst } buf;
+    (match dev.Dev.write geo.jsb buf with
+    | Ok () -> ()
+    | Error _ -> Klog.error klog tag "journal superblock update failed");
+    ignore (dev.Dev.sync ());
+    Ok last_seq
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Functor packaging                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The functor is a thin specialization over the shared engine type:
+   [type nonrec t = t] keeps the engine storable inside the file
+   system's own state record (a generative [t] per application could
+   not escape the mount function), while the policy module pins the
+   tag, commit mode and IRON reactions at brand-construction time. *)
+module Make (P : POLICY) = struct
+  type nonrec t = t
+
+  let create ~dev ~cache ~klog ~kinds ~geo ~journaled ~seq =
+    create
+      { tag = P.tag; mode = P.mode; iron = P.iron; dev; cache; klog; kinds; geo; journaled }
+      ~seq
+
+  let recover ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
+    recover ~tag:P.tag ~iron:P.iron ~geo ~dev ~klog ?jsb_fallback ?refresh_replica ()
+
+  let connect = connect
+  let find = find
+  let stage = stage
+  let revoke = revoke
+  let write_data = write_data
+  let commit = commit
+  let checkpoint = checkpoint
+  let kind = kind
+  let mode = P.mode
+end
+
+(* ------------------------------------------------------------------ *)
+(* Record-structured engine (jfs)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* jfs journals sub-block byte ranges instead of whole block images:
+   diff-based record emission against an in-memory overlay, with a
+   monotonically increasing transaction id in the journal superblock
+   fencing off records that already checkpointed home. *)
+module Record = struct
+  type record = { r_tx : int; r_commit : bool; r_block : int; r_off : int; r_data : string }
+
+  let record_size r = 4 + 1 + 4 + 2 + 2 + String.length r.r_data
+
+  let jsuper_magic = 0x4A4C4F47
+  let jdata_magic = 0x4A4C4442
+
+  let encode_records bs records =
+    (* Pack into j-data payload blocks: each block is {magic, count,
+       records...}. Returns the block images in order. *)
+    let blocks = ref [] in
+    let buf = ref (Bytes.make bs '\000') in
+    let w = ref (Codec.writer !buf) in
+    let count = ref 0 in
+    let start_block () =
+      buf := Bytes.make bs '\000';
+      w := Codec.writer !buf;
+      Codec.put_u32 !w jdata_magic;
+      Codec.put_u16 !w 0;
+      count := 0
+    in
+    let flush () =
+      if !count > 0 then begin
+        Bytes.set_uint16_le !buf 4 !count;
+        blocks := !buf :: !blocks
+      end
+    in
+    start_block ();
+    List.iter
+      (fun r ->
+        if Codec.writer_pos !w + record_size r > bs then begin
+          flush ();
+          start_block ()
+        end;
+        Codec.put_u32 !w r.r_tx;
+        Codec.put_u8 !w (if r.r_commit then 2 else 1);
+        Codec.put_u32 !w r.r_block;
+        Codec.put_u16 !w r.r_off;
+        Codec.put_u16 !w (String.length r.r_data);
+        Codec.put_string !w r.r_data;
+        incr count)
+      records;
+    flush ();
+    List.rev !blocks
+
+  let decode_record_block buf =
+    try
+      let r = Codec.reader buf in
+      if Codec.get_u32 r <> jdata_magic then None
+      else
+        let n = Codec.get_u16 r in
+        if n > 1024 then None
+        else
+          let rec go k acc =
+            if k = 0 then Some (List.rev acc)
+            else
+              let r_tx = Codec.get_u32 r in
+              let kind = Codec.get_u8 r in
+              let r_block = Codec.get_u32 r in
+              let r_off = Codec.get_u16 r in
+              let len = Codec.get_u16 r in
+              if len > Codec.remaining r then None
+              else
+                let r_data = Codec.get_string r len in
+                go (k - 1) ({ r_tx; r_commit = kind = 2; r_block; r_off; r_data } :: acc)
+          in
+          go n []
+    with Codec.Decode_error _ -> None
+
+  let encode_jsuper txid start buf =
+    Bytes.fill buf 0 (Bytes.length buf) '\000';
+    let w = Codec.writer buf in
+    Codec.put_u32 w jsuper_magic;
+    Codec.put_u32 w txid;
+    Codec.put_u32 w start
+
+  let decode_jsuper buf =
+    try
+      let r = Codec.reader buf in
+      if Codec.get_u32 r <> jsuper_magic then None
+      else
+        let txid = Codec.get_u32 r in
+        let start = Codec.get_u32 r in
+        Some (txid, start)
+    with Codec.Decode_error _ -> None
+
+  (* Scan committed records from the log; shared by recovery and the
+     gray-box classifier. [read b] returns the block or None. Records
+     from transactions older than the journal superblock's txid have
+     already been checkpointed home and must not replay again. *)
+  let scan_committed ~geo read ~min_tx start =
+    let records = ref [] in
+    let rec scan pos =
+      if pos < geo.jend then
+        match read pos with
+        | None -> ()
+        | Some buf -> (
+            match decode_record_block buf with
+            | None -> ()
+            | Some rs ->
+                records := rs :: !records;
+                scan (pos + 1))
+    in
+    scan (max geo.jfirst start);
+    let all =
+      List.filter (fun r -> r.r_tx >= min_tx) (List.concat (List.rev !records))
+    in
+    let committed =
+      List.filter_map (fun r -> if r.r_commit then Some r.r_tx else None) all
+    in
+    List.filter (fun r -> (not r.r_commit) && List.mem r.r_tx committed) all
+
+  (* Diff-based record emission: this is what makes the journal
+     "record-level" — only the changed byte ranges are logged. *)
+  let diff_ranges old fresh =
+    let n = Bytes.length fresh in
+    let ranges = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      if Bytes.get old !i <> Bytes.get fresh !i then begin
+        let start = !i in
+        let last = ref !i in
+        let j = ref (!i + 1) in
+        let gap = ref 0 in
+        while !j < n && !gap < 32 do
+          if Bytes.get old !j <> Bytes.get fresh !j then begin
+            last := !j;
+            gap := 0
+          end
+          else incr gap;
+          incr j
+        done;
+        ranges := (start, !last - start + 1) :: !ranges;
+        i := !last + 1
+      end
+      else incr i
+    done;
+    List.rev !ranges
+
+  type t = {
+    tag : string;
+    dev : Dev.t;
+    bs : int;
+    cache : Bcache.t;
+    klog : Klog.t;
+    kinds : int -> Kind.t;
+    geo : geometry;
+    (* overlay: current in-memory page state; records: since last commit *)
+    overlay : (int, bytes) Hashtbl.t;
+    mutable overlay_order : int list;
+    mutable records : record list; (* newest first *)
+    mutable txid : int;
+    mutable jpos : int; (* next free j-data block *)
+  }
+
+  let create ~tag ~dev ~cache ~klog ~kinds ~geo ~txid =
+    {
+      tag;
+      dev;
+      bs = dev.Dev.block_size;
+      cache;
+      klog;
+      kinds;
+      geo;
+      overlay = Hashtbl.create 32;
+      overlay_order = [];
+      records = [];
+      txid;
+      jpos = geo.jfirst;
+    }
+
+  let find t b = Hashtbl.find_opt t.overlay b
+
+  let write t b data =
+    if Kind.is_journal_region (t.kinds b) then
+      Klog.error t.klog t.tag "refusing to journal journal block %d" b
+    else begin
+      let old =
+        match Hashtbl.find_opt t.overlay b with
+        | Some d -> d
+        | None -> (
+            match Bcache.read t.cache b with
+            | Ok d -> d
+            | Error _ -> Bytes.make t.bs '\000')
+      in
+      let ranges = diff_ranges old data in
+      List.iter
+        (fun (off, len) ->
+          (* Records larger than a journal block are chunked. *)
+          let rec chunk off len =
+            let maxlen = t.bs - 32 in
+            let l = min len maxlen in
+            t.records <-
+              {
+                r_tx = t.txid;
+                r_commit = false;
+                r_block = b;
+                r_off = off;
+                r_data = Bytes.sub_string data off l;
+              }
+              :: t.records;
+            if len > l then chunk (off + l) (len - l)
+          in
+          if len > 0 then chunk off len)
+        ranges;
+      if not (Hashtbl.mem t.overlay b) then t.overlay_order <- b :: t.overlay_order;
+      Hashtbl.replace t.overlay b (Bytes.copy data)
+    end
+
+  let write_jsuper t =
+    let buf = Bytes.make t.bs '\000' in
+    encode_jsuper t.txid t.geo.jfirst buf;
+    match t.dev.Dev.write t.geo.jsb buf with
+    | Ok () -> ()
+    | Error _ ->
+        (* The one write error JFS does handle — by crashing (§5.3). *)
+        Klog.panic t.klog t.tag "journal superblock write failed; halting"
+
+  (* Checkpoint: apply the overlay to home locations. Write errors are
+     ignored entirely (DZero). *)
+  let checkpoint t =
+    Obs.span_a ~subsystem:"jrnl" "checkpoint" @@ fun () ->
+    List.iter
+      (fun b ->
+        match Hashtbl.find_opt t.overlay b with
+        | None -> ()
+        | Some data -> (
+            match Bcache.write t.cache b data with Ok () -> () | Error _ -> ()))
+      (List.sort compare (List.rev t.overlay_order));
+    Hashtbl.reset t.overlay;
+    t.overlay_order <- [];
+    t.jpos <- t.geo.jfirst;
+    t.txid <- t.txid + 1;
+    write_jsuper t;
+    ignore (t.dev.Dev.sync ())
+
+  let commit t =
+    if t.records = [] then ()
+    else
+      Obs.span_a ~subsystem:"jrnl" "commit" @@ fun () ->
+      let records =
+        List.rev
+          ({ r_tx = t.txid; r_commit = true; r_block = 0; r_off = 0; r_data = "" }
+          :: t.records)
+      in
+      let blocks = encode_records t.bs records in
+      if t.jpos + List.length blocks > t.geo.jend then checkpoint t;
+      if t.jpos + List.length blocks > t.geo.jend then
+        (* Oversized transaction: it has already been checkpointed home. *)
+        t.records <- []
+      else begin
+        List.iter
+          (fun img ->
+            (match t.dev.Dev.write t.jpos img with
+            | Ok () -> ()
+            | Error _ -> () (* journal-data write errors: ignored *));
+            t.jpos <- t.jpos + 1)
+          blocks;
+        ignore (t.dev.Dev.sync ());
+        t.records <- [];
+        t.txid <- t.txid + 1
+      end
+
+  let recover ~tag ~geo ~dev ~klog () =
+    Obs.span_a ~subsystem:"jrnl" "recover" @@ fun () ->
+    (* One scratch block serves the whole recovery: the journal decoders
+       and [scan_committed] copy what they keep ([decode_record_block]
+       extracts strings), and replayed blocks are patched in place and
+       written straight back. *)
+    let scratch = Bytes.create dev.Dev.block_size in
+    let* txid, start =
+      match dev.Dev.read_into geo.jsb scratch with
+      | Error _ ->
+          Klog.error klog tag "journal superblock unreadable";
+          Error Errno.EIO
+      | Ok () -> (
+          match decode_jsuper scratch with
+          | Some v -> Ok v
+          | None ->
+              Klog.error klog tag "journal superblock bad magic";
+              Error Errno.EUCLEAN)
+    in
+    let read b =
+      match dev.Dev.read_into b scratch with
+      | Ok () -> Some scratch
+      | Error _ -> None
+    in
+    let records = scan_committed ~geo read ~min_tx:txid start in
+    let* () =
+      (* Replay, with sanity checking; a failure aborts the replay and the
+         mount (§5.3). *)
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          if r.r_block >= geo.num_blocks || r.r_off + String.length r.r_data > dev.Dev.block_size
+          then begin
+            Klog.error klog tag "journal record fails sanity check; aborting replay";
+            Error Errno.EUCLEAN
+          end
+          else
+            match dev.Dev.read_into r.r_block scratch with
+            | Error _ ->
+                Klog.error klog tag "replay read of block %d failed" r.r_block;
+                Ok ()
+            | Ok () ->
+                Bytes.blit_string r.r_data 0 scratch r.r_off
+                  (String.length r.r_data);
+                (match dev.Dev.write r.r_block scratch with
+                | Ok () -> ()
+                | Error _ -> ());
+                Ok ())
+        (Ok ()) records
+    in
+    if records <> [] then
+      Klog.info klog tag "journal: replayed %d records" (List.length records);
+    let js = Bytes.make dev.Dev.block_size '\000' in
+    encode_jsuper (txid + 1) geo.jfirst js;
+    (match dev.Dev.write geo.jsb js with Ok () -> () | Error _ -> ());
+    ignore (dev.Dev.sync ());
+    Ok (txid + 1)
+end

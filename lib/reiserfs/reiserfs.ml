@@ -4,6 +4,7 @@ module Bcache = Iron_disk.Bcache
 module Errno = Iron_vfs.Errno
 module Klog = Iron_vfs.Klog
 module Fs = Iron_vfs.Fs
+module Obs = Iron_obs.Obs
 module Fdtable = Iron_vfs.Fdtable
 module Resolver = Iron_vfs.Resolver
 
@@ -173,6 +174,7 @@ let must_write t b data what =
   | Error _ -> Klog.panic t.klog "reiserfs" "%s write to block %d failed; panicking" what b
 
 let checkpoint t =
+  Obs.span_a ~subsystem:"jrnl" "checkpoint" @@ fun () ->
   List.iter
     (fun b ->
       match Hashtbl.find_opt t.pending b with
@@ -190,7 +192,9 @@ let checkpoint t =
 
 let commit t =
   if Hashtbl.length t.txn = 0 then Ok ()
-  else begin
+  else
+    Obs.span_a ~subsystem:"jrnl" "commit" @@ fun () ->
+    begin
     let blocks = List.rev t.txn_order in
     let needed = 2 + List.length blocks in
     if t.jhead + needed > jend then checkpoint t;
@@ -717,6 +721,7 @@ let mkfs_impl dev =
   match dev.Dev.sync () with Ok () -> Ok () | Error _ -> Error Errno.EIO
 
 let recover_journal lay_dev klog =
+  Obs.span_a ~subsystem:"jrnl" "recover" @@ fun () ->
   let dev = lay_dev in
   let* seq0, start =
     match dev.Dev.read journal_start with

@@ -5,7 +5,7 @@
 module Layout = Iron_ext3.Layout
 module Inode = Iron_ext3.Inode
 module Dirent = Iron_ext3.Dirent
-module Jrec = Iron_ext3.Jrec
+module Jrec = Iron_jrnl.Jrec
 module Sb = Iron_ext3.Sb
 
 let check = Alcotest.check

@@ -140,9 +140,25 @@ let test_ext3_vs_ixt3 () =
     (ix.Explore.tc_detected >= 1)
 
 let test_jobs_deterministic () =
-  let r1 = Explore.explore ~jobs:1 ~max_states:120 Iron_ext3.Ext3.std in
-  let r3 = Explore.explore ~jobs:3 ~max_states:120 Iron_ext3.Ext3.std in
-  check Alcotest.bool "report is a pure function of the seed" true (r1 = r3)
+  (* Every journaling brand, including the ext3 commit-mode variants:
+     exploring with one worker and with three must produce the same
+     report, violation for violation. *)
+  List.iter
+    (fun (name, brand) ->
+      let r1 = Explore.explore ~jobs:1 ~max_states:100 brand in
+      let r3 = Explore.explore ~jobs:3 ~max_states:100 brand in
+      check Alcotest.bool (name ^ ": report is a pure function of the seed")
+        true (r1 = r3);
+      check Alcotest.bool (name ^ ": states were explored") true
+        (r1.Explore.states > 0))
+    [
+      ("ext3", Iron_ext3.Ext3.std);
+      ("ixt3", Iron_ext3.Ext3.ixt3);
+      ("ext3-writeback", Iron_ext3.Modes.writeback);
+      ("ext3-data", Iron_ext3.Modes.data);
+      ("jfs", Iron_jfs.Jfs.brand);
+      ("reiserfs", Iron_reiserfs.Reiserfs.brand);
+    ]
 
 let suites =
   [

@@ -2,7 +2,8 @@ let () =
   Alcotest.run "iron"
     (Test_util.suites @ Test_obs.suites @ Test_pool.suites @ Test_disk.suites
     @ Test_cow.suites @ Test_fault.suites @ Test_vfs.suites
-    @ Test_codecs.suites @ Test_ext3.suites @ Test_genops.suites
+    @ Test_codecs.suites @ Test_jrnl.suites @ Test_ext3.suites
+    @ Test_genops.suites
     @ Test_reiserfs.suites @ Test_jfs.suites @ Test_ntfs.suites
     @ Test_ixt3.suites @ Test_fsck.suites @ Test_crash.suites
     @ Test_explore.suites @ Test_core.suites @ Test_report.suites
