@@ -468,6 +468,41 @@ let crash_states () =
      whose payload never landed. ixt3's transactional checksum spots\n\
      the mismatch and refuses the transaction - zero violations.)\n"
 
+(* --- causal forensics overhead ----------------------------------------- *)
+
+let forensics_overhead () =
+  hr "Causal forensics: what violation attribution costs";
+  Printf.printf
+    "The same ext3 exploration, without and with the forensics pass\n\
+     (greedy culprit minimization: one O(dirty) re-materialize and\n\
+     re-check per probe).\n\n";
+  let run forensics =
+    let t0 = Unix.gettimeofday () in
+    let r = Iron_crash.Explore.explore ~jobs:!workers ~forensics Iron_ext3.Ext3.std in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let base, t_off = run false in
+  let full, t_on = run true in
+  let open Iron_crash.Explore in
+  let probes = List.fold_left (fun n c -> n + c.ch_probes) 0 full.chains in
+  let culprits =
+    List.fold_left (fun n c -> n + List.length c.ch_culprits) 0 full.chains
+  in
+  Printf.printf "explore:            %.2fs (%d states, %d violations)\n" t_off
+    base.states
+    (List.length base.violations);
+  Printf.printf "explore+forensics:  %.2fs (%d chains, %d probes, %d culprits)\n"
+    t_on
+    (List.length full.chains)
+    probes culprits;
+  Printf.printf "overhead: %+.1f%%\n" (100.0 *. (t_on -. t_off) /. t_off);
+  stash "bench.forensics.states" full.states;
+  stash "bench.forensics.chains" (List.length full.chains);
+  stash "bench.forensics.probes" probes;
+  stash "bench.forensics.culprits" culprits;
+  stash "bench.forensics.overhead_pct"
+    (int_of_float (100.0 *. (t_on -. t_off) /. Float.max t_off 0.001))
+
 (* --- microbenchmarks --------------------------------------------------- *)
 
 let micro () =
@@ -527,6 +562,7 @@ let all_experiments =
     ("space", space);
     ("ablate-tc", ablate_tc);
     ("crash-states", crash_states);
+    ("forensics-overhead", forensics_overhead);
     ("scrub", scrub);
     ("obs-overhead", obs_overhead);
     ("snapshot-restore", snapshot_restore);

@@ -8,6 +8,7 @@
      iron robust                   detected-and-recovered counts
      iron stats                    observed campaign metrics table
      iron crash [FS]...            crash-state exploration (power cuts)
+     iron explain [FS]...          crash forensics: culprit writes + timeline
      iron diff GOLDEN FRESH        compare artifact trees; exit 1 on drift
      iron golden [--update]        regenerate / check golden/ artifacts
 
@@ -115,7 +116,7 @@ let write_output path contents =
       output_string oc contents;
       close_out oc
 
-let export_observed ~trace ~metrics observed =
+let export_observed ~name ~seed ~trace ~metrics observed =
   (match trace with
   | None -> ()
   | Some path ->
@@ -124,7 +125,13 @@ let export_observed ~trace ~metrics observed =
           (fun (name, (o : Iron_core.Driver.observed)) -> (name, o.Iron_core.Driver.spans))
           observed
       in
-      write_output path (Iron_obs.Obs.chrome_trace procs));
+      let dropped =
+        List.map
+          (fun (name, (o : Iron_core.Driver.observed)) ->
+            (name, o.Iron_core.Driver.spans_dropped))
+          observed
+      in
+      write_output path (Iron_obs.Obs.chrome_trace ~dropped procs));
   match metrics with
   | None -> ()
   | Some path ->
@@ -134,7 +141,12 @@ let export_observed ~trace ~metrics observed =
              (fun (_, (o : Iron_core.Driver.observed)) -> o.Iron_core.Driver.metrics)
              observed)
       in
-      write_output path (Iron_obs.Obs.jsonl_of_snapshot snap)
+      (* The merged registry ships as a versioned metrics artifact, so
+         the same bytes serve as an iron-diffable golden. *)
+      write_output path
+        (Iron_report.Report.to_string
+           (Iron_report.Report.of_metrics ~name ~seed
+              (Iron_report.Report.metrics_of_snapshot snap)))
 
 let pp_campaign_stats verbose report =
   if verbose then
@@ -162,7 +174,7 @@ let fingerprint_cmd =
             report.Iron_core.Driver.observed)
         fses
     in
-    export_observed ~trace ~metrics observed
+    export_observed ~name:"fingerprint" ~seed ~trace ~metrics observed
   in
   Cmd.v
     (Cmd.info "fingerprint"
@@ -242,7 +254,7 @@ let robust_cmd =
           Option.map (fun o -> (name, o)) r.Iron_core.Driver.observed)
         brands
     in
-    export_observed ~trace ~metrics observed
+    export_observed ~name:"robust" ~seed ~trace ~metrics observed
   in
   Cmd.v
     (Cmd.info "robust"
@@ -251,14 +263,22 @@ let robust_cmd =
           $ metrics_arg)
 
 let stats_cmd =
-  let run fses jobs seed verbose =
+  let run fses jobs seed verbose out =
     List.iter
       (fun brand ->
         let report = Iron_core.Driver.fingerprint ~jobs ~seed ~observe:true brand in
         (match report.Iron_core.Driver.observed with
         | Some o ->
             Format.printf "== %s ==@.%a@." report.Iron_core.Driver.name
-              Iron_obs.Obs.pp_snapshot o.Iron_core.Driver.metrics
+              Iron_obs.Obs.pp_snapshot o.Iron_core.Driver.metrics;
+            (match out with
+            | None -> ()
+            | Some dir ->
+                save_artifact dir
+                  (Iron_report.Report.of_metrics
+                     ~name:report.Iron_core.Driver.name ~seed
+                     (Iron_report.Report.metrics_of_snapshot
+                        o.Iron_core.Driver.metrics)))
         | None -> ());
         pp_campaign_stats verbose report)
       fses
@@ -267,9 +287,11 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Run an observed fingerprinting campaign and print the merged \
              metrics registry (disk I/O, injected faults, journal commits, \
-             scrub passes) as a per-subsystem table. Deterministic: \
-             byte-identical for any -j with the same --seed.")
-    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg)
+             scrub passes) as a per-subsystem table. With --out, also \
+             write each registry as a versioned metrics artifact for \
+             $(b,iron diff). Deterministic: byte-identical for any -j \
+             with the same --seed.")
+    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ verbose_arg $ out_arg)
 
 let scrub_cmd =
   let run () =
@@ -334,15 +356,33 @@ let crash_cmd =
                    violation. Repeatable; used by CI to pin the \
                    transactional-checksum guarantee.")
   in
-  let run fses jobs seed states check trace metrics out =
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Run the causal-forensics pass: minimize each violation \
+                   to the dropped/torn writes that produced it and print \
+                   the attribution chains (see $(b,iron explain) for the \
+                   full timeline view). With --out, also write a \
+                   forensics artifact per file system.")
+  in
+  let run fses jobs seed states check explain trace metrics out =
     let observe = trace <> None || metrics <> None in
     let observed = ref [] in
     let failed = ref [] in
     List.iter
       (fun brand ->
         let obs = if observe then Some (Iron_obs.Obs.create ()) else None in
-        let r = Iron_crash.Explore.explore ~jobs ~seed ~max_states:states ?obs brand in
+        let r =
+          Iron_crash.Explore.explore ~jobs ~seed ~max_states:states
+            ~forensics:explain ?obs brand
+        in
         Format.printf "%a@.@." Iron_crash.Explore.pp_report r;
+        if explain then begin
+          List.iter
+            (fun ch -> Format.printf "%a@." Iron_crash.Explore.pp_chain ch)
+            r.Iron_crash.Explore.chains;
+          if r.Iron_crash.Explore.chains <> [] then Format.printf "@."
+        end;
         (match obs with
         | Some o -> observed := (r.Iron_crash.Explore.fs, o) :: !observed
         | None -> ());
@@ -350,7 +390,10 @@ let crash_cmd =
         | None -> ()
         | Some dir ->
             save_artifact dir
-              (Iron_report.Report.of_crash ~seed ~max_states:states r));
+              (Iron_report.Report.of_crash ~seed ~max_states:states r);
+            if explain then
+              save_artifact dir
+                (Iron_report.Report.of_forensics ~seed ~max_states:states r));
         if
           List.mem r.Iron_crash.Explore.fs check
           && r.Iron_crash.Explore.violations <> []
@@ -387,7 +430,103 @@ let crash_cmd =
              transactional checksums replays reordered commits as \
              garbage; ixt3 detects the mismatch and refuses.")
     Term.(const run $ fs_args $ jobs_arg $ seed_arg $ states_arg $ check_arg
-          $ trace_arg $ metrics_arg $ out_arg)
+          $ explain_arg $ trace_arg $ metrics_arg $ out_arg)
+
+(* --- explain: the causal-forensics console ----------------------------- *)
+
+(* Render one recorded write as a Chrome-trace span. Exploration runs
+   with the time model off, so w_seq is the clock: each write occupies
+   [seq, seq+1) on the wlog lane; culprit first-drops repeat on a
+   second lane so the attribution reads directly off the trace. *)
+let explain_trace (r : Iron_crash.Explore.report) =
+  let module E = Iron_crash.Explore in
+  let span ~seq ~tid ~subsystem ~name ~blk =
+    {
+      Iron_obs.Obs.seq;
+      tid;
+      subsystem;
+      name;
+      t0 = float_of_int seq;
+      dur = 1.;
+      blk_lo = blk;
+      blk_hi = blk;
+      instant = false;
+    }
+  in
+  let wlog =
+    List.map
+      (fun (l : E.logged) ->
+        let name =
+          Printf.sprintf "w%d %s%s%s" l.E.lg_seq l.E.lg_label
+            (if l.E.lg_txn >= 0 then
+               Printf.sprintf " txn%d/%s" l.E.lg_txn l.E.lg_role
+             else "")
+            (if l.E.lg_rule <> "" then " !" ^ l.E.lg_rule else "")
+        in
+        span ~seq:l.E.lg_seq ~tid:0
+          ~subsystem:(Printf.sprintf "epoch%d" l.E.lg_epoch)
+          ~name ~blk:l.E.lg_block)
+      r.E.log
+  in
+  let culprits =
+    List.concat_map
+      (fun (ch : E.chain) ->
+        List.map
+          (fun (c : E.culprit) ->
+            span ~seq:c.E.cu_first_seq ~tid:1 ~subsystem:"culprit"
+              ~name:
+                (Printf.sprintf "%s of %s"
+                   (if c.E.cu_torn then "torn" else "dropped")
+                   ch.E.ch_state)
+              ~blk:c.E.cu_block)
+          ch.E.ch_culprits)
+      r.E.chains
+  in
+  Iron_obs.Obs.chrome_trace [ ("explain-" ^ r.E.fs, wlog @ culprits) ]
+
+let explain_cmd =
+  let states_arg =
+    Arg.(value & opt int 1000
+         & info [ "states" ] ~docv:"N"
+             ~doc:"Upper bound on distinct crash states per file system.")
+  in
+  let run fses jobs seed states trace out =
+    List.iter
+      (fun brand ->
+        let r =
+          Iron_crash.Explore.explore ~jobs ~seed ~max_states:states
+            ~forensics:true brand
+        in
+        Format.printf "%a@.@." Iron_crash.Explore.pp_report r;
+        Format.printf "%a@.@."
+          (Iron_crash.Explore.pp_timeline ~chains:r.Iron_crash.Explore.chains)
+          r;
+        List.iter
+          (fun ch -> Format.printf "%a@." Iron_crash.Explore.pp_chain ch)
+          r.Iron_crash.Explore.chains;
+        (match out with
+        | None -> ()
+        | Some dir ->
+            save_artifact dir
+              (Iron_report.Report.of_forensics ~seed ~max_states:states r));
+        match trace with
+        | None -> ()
+        | Some path -> write_output path (explain_trace r))
+      fses
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Crash-state exploration with causal forensics: record the \
+             provenance of every write (originating VFS op, journal \
+             transaction and commit policy, epoch, fault rule), minimize \
+             each invariant violation to the dropped or torn writes that \
+             produced it, and render the merged timeline with culprit \
+             writes flagged. --trace exports the same timeline as a \
+             Chrome-trace lane; --out writes the forensics report as a \
+             versioned artifact for $(b,iron diff). Deterministic: \
+             byte-identical for any -j with the same --seed.")
+    Term.(const run $ fs_args $ jobs_arg $ seed_arg $ states_arg $ trace_arg
+          $ out_arg)
 
 (* --- diff: the regression gate ---------------------------------------- *)
 
@@ -500,6 +639,13 @@ let diff_cmd =
 let golden_fingerprint_opt_out = [ "ntfs" ]
 let golden_crash_opt_out = [ "reiserfs"; "jfs"; "ntfs" ]
 
+(* Forensics goldens pin the §6.1 asymmetry's causal story: ext3's
+   violations attribute to commit-without-payload culprits, ixt3's
+   chain list is empty (Tc refuses instead). The ext3 mode variants'
+   crash counts are already pinned; their chains add bulk, not
+   signal. *)
+let golden_forensics_fses = [ "ext3"; "ixt3" ]
+
 let golden_fingerprint_fses =
   List.filter_map
     (fun (name, _) ->
@@ -541,10 +687,14 @@ let golden_cmd =
     List.iter
       (fun name ->
         let brand = List.assoc name brands in
+        let forensics = List.mem name golden_forensics_fses in
         let r =
-          Iron_crash.Explore.explore ~jobs ~seed ~max_states:states brand
+          Iron_crash.Explore.explore ~jobs ~seed ~max_states:states ~forensics
+            brand
         in
-        fresh := Report.of_crash ~seed ~max_states:states r :: !fresh)
+        fresh := Report.of_crash ~seed ~max_states:states r :: !fresh;
+        if forensics then
+          fresh := Report.of_forensics ~seed ~max_states:states r :: !fresh)
       golden_crash_fses;
     let fresh = List.rev !fresh in
     if update then begin
@@ -638,4 +788,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd;
-            stats_cmd; scrub_cmd; crash_cmd; fsck_cmd; diff_cmd; golden_cmd ]))
+            stats_cmd; scrub_cmd; crash_cmd; explain_cmd; fsck_cmd; diff_cmd;
+            golden_cmd ]))

@@ -69,6 +69,7 @@ type stats = {
 type observed = {
   metrics : Obs.snapshot;
   spans : Obs.span list;
+  spans_dropped : int;
   exec : Obs.snapshot;
 }
 
@@ -671,8 +672,9 @@ let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
       let cell = run_job ~obs prepared c job in
       let snap = Obs.snapshot obs in
       let spans = Obs.spans obs in
+      let dropped = Obs.spans_dropped obs in
       Obs.release obs;
-      (cell, snap, spans)
+      (cell, snap, spans, dropped)
     in
     let tagged, armed = partition_targets prepared c in
     let ran =
@@ -682,16 +684,20 @@ let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
     in
     let results = stitch tagged ran ~skip:observed_job in
     let wall_s = Unix.gettimeofday () -. t0 in
-    let cells = List.map (fun (cell, _, _) -> cell) results in
+    let cells = List.map (fun (cell, _, _, _) -> cell) results in
     let metrics =
-      Obs.merge (prep_snap :: List.map (fun (_, snap, _) -> snap) results)
+      Obs.merge (prep_snap :: List.map (fun (_, snap, _, _) -> snap) results)
     in
     let spans =
       prep_spans
       @ List.concat
           (List.mapi
-             (fun i (_, _, spans) -> Obs.with_tid (i + 1) spans)
+             (fun i (_, _, spans, _) -> Obs.with_tid (i + 1) spans)
              results)
+    in
+    let spans_dropped =
+      Obs.spans_dropped prep_obs
+      + List.fold_left (fun n (_, _, _, d) -> n + d) 0 results
     in
     let report =
       aggregate c ~workers:(max 1 jobs) ~scheduled:(List.length armed) ~wall_s
@@ -699,7 +705,8 @@ let run ?(jobs = 1) ?(observe = false) (c : Experiment.t) =
     in
     {
       report with
-      observed = Some { metrics; spans; exec = Obs.snapshot exec_obs };
+      observed =
+        Some { metrics; spans; spans_dropped; exec = Obs.snapshot exec_obs };
     }
   end
 

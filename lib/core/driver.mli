@@ -73,6 +73,11 @@ type observed = {
           [job index + 1], in spec order — byte-identical for any
           [-j]. Fingerprint campaigns run with the disk time model
           off, so timestamps are all zero and [seq] carries order. *)
+  spans_dropped : int;
+      (** spans evicted from the bounded per-job rings (preparation +
+          every job), summed in spec order — byte-identical for any
+          [-j]. [0] means {!field-spans} is complete; exporters emit a
+          trailing meta record otherwise. *)
   exec : Iron_obs.Obs.snapshot;
       (** wall-clock executor telemetry ([pool.job.queue_ms] /
           [pool.job.run_ms] histograms) — {e not} deterministic, and

@@ -26,6 +26,7 @@ module Fs = Iron_vfs.Fs
 module Errno = Iron_vfs.Errno
 module Klog = Iron_vfs.Klog
 module Obs = Iron_obs.Obs
+module Prov = Iron_obs.Prov
 module Prng = Iron_util.Prng
 module Pool = Iron_util.Pool
 
@@ -39,6 +40,44 @@ let kind_to_string = function
 
 type violation = { state : string; v_kind : kind; detail : string }
 
+type culprit = {
+  cu_block : int;
+  cu_label : string;
+  cu_role : string;
+  cu_txn : int;
+  cu_policy : string;
+  cu_epoch : int;
+  cu_op : int;
+  cu_op_label : string;
+  cu_rule : string;
+  cu_first_seq : int;
+  cu_dropped : int;
+  cu_torn : bool;
+}
+
+type chain = {
+  ch_state : string;
+  ch_kind : kind;
+  ch_detail : string;
+  ch_probes : int;
+  ch_culprits : culprit list;
+  ch_summary : string;
+}
+
+type logged = {
+  lg_seq : int;
+  lg_block : int;
+  lg_epoch : int;
+  lg_label : string;
+  lg_t : float;
+  lg_op : int;
+  lg_op_label : string;
+  lg_txn : int;
+  lg_policy : string;
+  lg_role : string;
+  lg_rule : string;
+}
+
 type report = {
   fs : string;
   log_len : int;
@@ -46,6 +85,8 @@ type report = {
   states : int;
   violations : violation list;
   tc_detected : int;
+  chains : chain list;
+  log : logged list;
 }
 
 let count r k = List.length (List.filter (fun v -> v.v_kind = k) r.violations)
@@ -109,15 +150,29 @@ let record ~params ~durable_files ~racing_files brand =
   | Ok (Fs.Boxed ((module F), t)) ->
       let baseline = Cow.snapshot cow in
       Wlog.set_recording wlog true;
+      (* Each racing VFS call runs under a Prov op scope, so every
+         write the recorder journals below carries the workload step
+         that caused it (plus whatever txn/role the journal layer
+         scopes on the way down). *)
+      let opi = ref 0 in
+      let vfs label f =
+        let i = !opi in
+        incr opi;
+        Prov.with_op i label f
+      in
       (try
          for i = 0 to racing_files - 1 do
-           match F.creat t (Printf.sprintf "/racing%d" i) with
+           let path = Printf.sprintf "/racing%d" i in
+           match vfs ("creat " ^ path) (fun () -> F.creat t path) with
            | Error _ -> ()
            | Ok fd ->
                ignore
-                 (F.write t fd ~off:0 (Bytes.of_string (content "racing" (100 + i))));
-               (match F.fsync t fd with Ok () | Error _ -> ());
-               ignore (F.close t fd)
+                 (vfs ("write " ^ path) (fun () ->
+                      F.write t fd ~off:0
+                        (Bytes.of_string (content "racing" (100 + i)))));
+               (match vfs ("fsync " ^ path) (fun () -> F.fsync t fd) with
+               | Ok () | Error _ -> ());
+               ignore (vfs ("close " ^ path) (fun () -> F.close t fd))
          done
        with Klog.Panic _ -> ());
       {
@@ -426,11 +481,222 @@ let check_state ~params ~brand ~fsck (r : recorded) spec =
         { viol = Some (Panic, "panic while checking: " ^ m); tc })
 
 (* ------------------------------------------------------------------ *)
+(* Forensics: causal chains via greedy culprit minimization            *)
+(* ------------------------------------------------------------------ *)
+
+(* Probe budget per violation. The racing logs here are a few dozen
+   writes over ~20 blocks, so real runs use a fraction of this; if a
+   future workload blows the budget, the unprobed candidates are kept
+   as (conservative, unminimized) culprits rather than silently
+   dropped. *)
+let probe_cap = 512
+
+(* Everything the minimizer precomputes once per report: the whole-log
+   window, entry-index -> position-in-its-block-group, block -> window
+   slot, and a block-type label per logged block. *)
+type forensic_ctx = {
+  fx_whole : window;
+  fx_pos : int array; (* entry idx -> position within its block group *)
+  fx_slot : (int, int) Hashtbl.t; (* block -> whole-window slot *)
+  fx_full : int array; (* per slot: total writes of that block *)
+  fx_label : int -> string;
+}
+
+let forensic_ctx ~params ~fsck (r : recorded) =
+  let entries = r.entries in
+  let whole =
+    window_of entries ~name:"all"
+      ~in_durable:(fun _ -> false)
+      ~in_window:(fun _ -> true)
+  in
+  let slot = Hashtbl.create 64 in
+  Array.iteri (fun j b -> Hashtbl.replace slot b j) whole.blocks;
+  let pos = Array.make (max 1 (Array.length entries)) 0 in
+  Array.iter (fun g -> Array.iteri (fun p i -> pos.(i) <- p) g) whole.groups;
+  let full = Array.map Array.length whole.groups in
+  (* Block-type labels, resolved eagerly against the pre-crash baseline
+     (the scratch COW is about to be reused by the probes). *)
+  let labels = Hashtbl.create 64 in
+  if fsck then begin
+    let cow = scratch ~params in
+    Cow.restore cow r.baseline;
+    Array.iter
+      (fun b -> Hashtbl.replace labels b (Iron_ext3.Classifier.classify (Cow.peek cow) b))
+      whole.blocks
+  end;
+  {
+    fx_whole = whole;
+    fx_pos = pos;
+    fx_slot = slot;
+    fx_full = full;
+    fx_label =
+      (fun b -> match Hashtbl.find_opt labels b with Some l -> l | None -> "?");
+  }
+
+let log_of ctx (r : recorded) =
+  Array.to_list r.entries
+  |> List.map (fun (e : Wlog.entry) ->
+         let p = e.Wlog.w_prov in
+         {
+           lg_seq = e.Wlog.w_seq;
+           lg_block = e.Wlog.w_block;
+           lg_epoch = e.Wlog.w_epoch;
+           lg_label = ctx.fx_label e.Wlog.w_block;
+           lg_t = e.Wlog.w_t;
+           lg_op = p.Prov.op;
+           lg_op_label = p.Prov.op_label;
+           lg_txn = p.Prov.txn;
+           lg_policy = p.Prov.policy;
+           lg_role = p.Prov.role;
+           lg_rule = p.Prov.rule;
+         })
+
+let role_word = function
+  | "payload" -> "payload"
+  | "desc" -> "descriptor"
+  | "revoke" -> "revoke block"
+  | "data" -> "ordered data"
+  | r -> r
+
+(* Greedy re-materialize-and-recheck: express the spec as per-block
+   persisted-prefix counts over the whole-log window (exact — every
+   spec persists a per-block prefix by construction), then for each
+   block with a dropped tail, persist that block fully and re-run the
+   invariant check on the domain's scratch COW (O(dirty) per probe).
+   If the violation kind survives, the block was irrelevant and stays
+   restored; if it disappears, the block's dropped tail is a culprit
+   and is reverted. The surviving dropped set is the minimized culprit
+   set; by induction the final state still exhibits the violation. *)
+let minimize ~params ~brand ~fsck ctx (r : recorded) (spec, vkind, detail) =
+  let entries = r.entries in
+  let whole = ctx.fx_whole in
+  let nslots = Array.length whole.blocks in
+  let counts = Array.make nslots 0 in
+  Array.iter
+    (fun (b, i) ->
+      match Hashtbl.find_opt ctx.fx_slot b with
+      | Some j -> counts.(j) <- ctx.fx_pos.(i) + 1
+      | None -> ())
+    spec.choices;
+  let torn = ref spec.torn in
+  let probes = ref 0 in
+  let culprit_slots = ref [] in
+  let candidates =
+    List.init nslots (fun j -> j)
+    |> List.filter (fun j -> counts.(j) < ctx.fx_full.(j))
+    |> List.sort (fun a b -> compare whole.blocks.(a) whole.blocks.(b))
+  in
+  List.iter
+    (fun j ->
+      if !probes >= probe_cap then culprit_slots := j :: !culprit_slots
+      else begin
+        let saved = counts.(j) in
+        let saved_torn = !torn in
+        counts.(j) <- ctx.fx_full.(j);
+        (match !torn with
+        | Some (i, _) when entries.(i).Wlog.w_block = whole.blocks.(j) ->
+            torn := None
+        | _ -> ());
+        let probe =
+          { label = spec.label; choices = choices_of whole counts; torn = !torn }
+        in
+        incr probes;
+        let o = check_state ~params ~brand ~fsck r probe in
+        let still =
+          match o.viol with Some (k, _) -> k = vkind | None -> false
+        in
+        if not still then begin
+          (* Restoring this block's dropped tail changed the outcome:
+             it is part of the cause. Keep it dropped. *)
+          counts.(j) <- saved;
+          torn := saved_torn;
+          culprit_slots := j :: !culprit_slots
+        end
+      end)
+    candidates;
+  let culprit_of j =
+    let i0 = whole.groups.(j).(counts.(j)) in
+    let e = entries.(i0) in
+    let p = e.Wlog.w_prov in
+    {
+      cu_block = whole.blocks.(j);
+      cu_label = ctx.fx_label whole.blocks.(j);
+      cu_role = p.Prov.role;
+      cu_txn = p.Prov.txn;
+      cu_policy = p.Prov.policy;
+      cu_epoch = e.Wlog.w_epoch;
+      cu_op = p.Prov.op;
+      cu_op_label = p.Prov.op_label;
+      cu_rule = p.Prov.rule;
+      cu_first_seq = e.Wlog.w_seq;
+      cu_dropped = ctx.fx_full.(j) - counts.(j);
+      cu_torn =
+        (match !torn with
+        | Some (i, _) -> entries.(i).Wlog.w_block = whole.blocks.(j)
+        | None -> false);
+    }
+  in
+  let culprits = List.rev_map culprit_of !culprit_slots in
+  (* Which journal transactions got their commit record persisted in
+     the final (minimized) state? A culprit journal write belonging to
+     such a transaction is the §6.1 shape: the commit made it out, its
+     payload did not, and replay trusted the stale journal content. *)
+  let committed = Hashtbl.create 8 in
+  Array.iteri
+    (fun j c ->
+      for p = 0 to c - 1 do
+        let e = entries.(whole.groups.(j).(p)) in
+        let pr = e.Wlog.w_prov in
+        if pr.Prov.role = "commit" && pr.Prov.txn >= 0 then
+          Hashtbl.replace committed pr.Prov.txn ()
+      done)
+    counts;
+  let orphaned =
+    List.filter
+      (fun c ->
+        (c.cu_role = "payload" || c.cu_role = "desc" || c.cu_role = "revoke")
+        && c.cu_txn >= 0
+        && Hashtbl.mem committed c.cu_txn)
+      culprits
+  in
+  let summary =
+    if orphaned <> [] then begin
+      let seen = Hashtbl.create 4 in
+      String.concat "; "
+        (List.filter_map
+           (fun o ->
+             if Hashtbl.mem seen (o.cu_txn, o.cu_role) then None
+             else begin
+               Hashtbl.replace seen (o.cu_txn, o.cu_role) ();
+               Some
+                 (Printf.sprintf
+                    "commit record of txn %d persisted without its %s (epoch %d)"
+                    o.cu_txn (role_word o.cu_role) o.cu_epoch)
+             end)
+           orphaned)
+    end
+    else if culprits = [] then
+      "no dropped writes implicated; state equals the full log"
+    else
+      Printf.sprintf "%d dropped write(s) across %d block(s) produced %s"
+        (List.fold_left (fun n c -> n + c.cu_dropped) 0 culprits)
+        (List.length culprits) (kind_to_string vkind)
+  in
+  {
+    ch_state = spec.label;
+    ch_kind = vkind;
+    ch_detail = detail;
+    ch_probes = !probes;
+    ch_culprits = culprits;
+    ch_summary = summary;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
-    ?(durable_files = 4) ?(racing_files = 4) ?obs brand =
+    ?(durable_files = 4) ?(racing_files = 4) ?(forensics = false) ?obs brand =
   let params =
     { Memdisk.default_params with Memdisk.num_blocks; seed = seed lxor 0x1207 }
   in
@@ -447,7 +713,13 @@ let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
     | _ -> false
   in
   let recorded =
-    in_span "record" (fun () -> record ~params ~durable_files ~racing_files brand)
+    in_span "record" (fun () ->
+        (* With an obs context, install it ambiently for the record
+           phase (always the calling domain, so -j independent): the
+           journal spans of the racing workload then land on the same
+           timeline as the recorded writes. *)
+        let go () = record ~params ~durable_files ~racing_files brand in
+        match obs with None -> go () | Some o -> Obs.with_ambient o go)
   in
   let specs =
     in_span "enumerate" (fun () -> enumerate ~seed ~max_states recorded)
@@ -458,18 +730,31 @@ let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
           (fun spec -> check_state ~params ~brand ~fsck recorded spec)
           specs)
   in
-  let violations =
+  let viols =
     List.filter_map
       (fun (spec, o) ->
-        Option.map
-          (fun (k, detail) -> { state = spec.label; v_kind = k; detail })
-          o.viol)
+        Option.map (fun (k, detail) -> (spec, k, detail)) o.viol)
       (List.combine specs outcomes)
+  in
+  let violations =
+    List.map (fun (spec, k, detail) -> { state = spec.label; v_kind = k; detail }) viols
   in
   let tc_detected =
     List.fold_left (fun n o -> if o.tc then n + 1 else n) 0 outcomes
   in
   let states = List.length specs in
+  let chains, log =
+    if not forensics then ([], [])
+    else
+      in_span "forensics" (fun () ->
+          let ctx = forensic_ctx ~params ~fsck recorded in
+          let chains =
+            Pool.map_jobs ~jobs
+              (fun v -> minimize ~params ~brand ~fsck ctx recorded v)
+              viols
+          in
+          (chains, log_of ctx recorded))
+  in
   (match obs with
   | None -> ()
   | Some o ->
@@ -479,7 +764,14 @@ let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
       List.iter
         (fun v ->
           Obs.incr o ("crash.violation." ^ kind_to_string v.v_kind))
-        violations);
+        violations;
+      if forensics then begin
+        Obs.add o "crash.forensics.chains" (List.length chains);
+        Obs.add o "crash.forensics.probes"
+          (List.fold_left (fun n c -> n + c.ch_probes) 0 chains);
+        Obs.add o "crash.forensics.culprits"
+          (List.fold_left (fun n c -> n + List.length c.ch_culprits) 0 chains)
+      end);
   {
     fs;
     log_len = Array.length recorded.entries;
@@ -487,6 +779,8 @@ let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
     states;
     violations;
     tc_detected;
+    chains;
+    log;
   }
 
 let pp_report fmt r =
@@ -508,3 +802,55 @@ let pp_report fmt r =
     r.violations;
   if List.length r.violations > 5 then
     Format.fprintf fmt "@.  ... and %d more" (List.length r.violations - 5)
+
+let pp_culprit fmt c =
+  let mech = if c.cu_torn then "torn" else "dropped" in
+  Format.fprintf fmt "blk %d (%s) %s x%d from w%d epoch %d" c.cu_block
+    c.cu_label mech c.cu_dropped c.cu_first_seq c.cu_epoch;
+  if c.cu_txn >= 0 then begin
+    Format.fprintf fmt ", txn %d" c.cu_txn;
+    if c.cu_policy <> "" then Format.fprintf fmt " [%s]" c.cu_policy;
+    if c.cu_role <> "" then Format.fprintf fmt " role %s" c.cu_role
+  end
+  else if c.cu_role <> "" then Format.fprintf fmt ", role %s" c.cu_role;
+  if c.cu_op >= 0 then Format.fprintf fmt ", op %d (%s)" c.cu_op c.cu_op_label;
+  if c.cu_rule <> "" then Format.fprintf fmt ", fault %s" c.cu_rule
+
+let pp_chain fmt ch =
+  Format.fprintf fmt "[%s] %s: %s@.  cause: %s (%d probes)"
+    (kind_to_string ch.ch_kind) ch.ch_state ch.ch_detail ch.ch_summary
+    ch.ch_probes;
+  List.iter
+    (fun c -> Format.fprintf fmt "@.  culprit: %a" pp_culprit c)
+    ch.ch_culprits
+
+let pp_timeline ?(chains = []) fmt r =
+  let flagged =
+    let seqs = Hashtbl.create 8 in
+    List.iter
+      (fun ch ->
+        List.iter (fun c -> Hashtbl.replace seqs c.cu_first_seq ()) ch.ch_culprits)
+      chains;
+    fun seq -> Hashtbl.mem seqs seq
+  in
+  Format.fprintf fmt "%s write log: %d writes, %d epochs" r.fs r.log_len
+    r.rep_epochs;
+  let epoch = ref (-1) in
+  List.iter
+    (fun l ->
+      if l.lg_epoch <> !epoch then begin
+        epoch := l.lg_epoch;
+        Format.fprintf fmt "@.-- epoch %d --" l.lg_epoch
+      end;
+      Format.fprintf fmt "@.%s w%-4d blk %-5d %-12s" 
+        (if flagged l.lg_seq then "!!" else "  ")
+        l.lg_seq l.lg_block l.lg_label;
+      if l.lg_txn >= 0 then begin
+        Format.fprintf fmt " txn %d" l.lg_txn;
+        if l.lg_policy <> "" then Format.fprintf fmt " [%s]" l.lg_policy;
+        if l.lg_role <> "" then Format.fprintf fmt " %s" l.lg_role
+      end
+      else if l.lg_role <> "" then Format.fprintf fmt " %s" l.lg_role;
+      if l.lg_op >= 0 then Format.fprintf fmt " <- op %d %s" l.lg_op l.lg_op_label;
+      if l.lg_rule <> "" then Format.fprintf fmt " !fault %s" l.lg_rule)
+    r.log

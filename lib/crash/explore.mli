@@ -41,6 +41,62 @@ type violation = {
   detail : string;
 }
 
+(** {2 Causal forensics}
+
+    When [explore ~forensics:true] finds a violation it asks {e which
+    writes did it}: the crash-state spec is re-expressed as per-block
+    persisted-prefix counts over the whole log, and each dropped
+    suffix is greedily restored and the state re-checked (O(dirty) per
+    probe via [Cow.restore]). Suffixes whose restoration leaves the
+    violation standing are irrelevant; the rest form a minimized
+    culprit set. Each culprit carries the provenance its first dropped
+    write was recorded with ({!Wlog.entry.w_prov}): originating
+    workload op, journal transaction and commit policy, block role,
+    epoch, and any fault rule that fired. *)
+
+type culprit = {
+  cu_block : int;
+  cu_label : string;  (** block type from the gray-box classifier *)
+  cu_role : string;
+      (** journal role of the first dropped write: ["payload"],
+          ["desc"], ["commit"], ["checkpoint"], ["data"], ... *)
+  cu_txn : int;  (** journal transaction id; [-1] outside any txn *)
+  cu_policy : string;  (** commit policy, e.g. ["ordered+tc"] *)
+  cu_epoch : int;  (** sync-delimited epoch of the first dropped write *)
+  cu_op : int;  (** originating workload op index; [-1] if none *)
+  cu_op_label : string;  (** e.g. ["write /racing2"] *)
+  cu_rule : string;  (** fault rule that fired on the op, or [""] *)
+  cu_first_seq : int;  (** w_seq of the first dropped write *)
+  cu_dropped : int;  (** how many writes to this block were dropped *)
+  cu_torn : bool;  (** the first dropped write was torn, not dropped *)
+}
+
+type chain = {
+  ch_state : string;  (** the violating crash state's label *)
+  ch_kind : kind;
+  ch_detail : string;
+  ch_probes : int;  (** re-materialize-and-recheck probes spent *)
+  ch_culprits : culprit list;  (** minimized, sorted by block *)
+  ch_summary : string;
+      (** one-line root cause, e.g. ["commit record of txn 7 persisted
+          without its payload (epoch 3)"] *)
+}
+
+(** One recorded write, for the merged timeline ([iron explain]). *)
+type logged = {
+  lg_seq : int;
+  lg_block : int;
+  lg_epoch : int;
+  lg_label : string;
+  lg_t : float;
+  lg_op : int;
+  lg_op_label : string;
+  lg_txn : int;
+  lg_policy : string;
+  lg_role : string;
+  lg_rule : string;
+}
+
 type report = {
   fs : string;
   log_len : int;  (** recorded writes in the crash window *)
@@ -50,6 +106,12 @@ type report = {
   tc_detected : int;
       (** states where recovery refused a transaction on a
           transactional-checksum mismatch — the detections Tc buys *)
+  chains : chain list;
+      (** one per violation, in violation order; [[]] unless
+          [~forensics:true] *)
+  log : logged list;
+      (** the full recorded write log with provenance; [[]] unless
+          [~forensics:true] *)
 }
 
 val count : report -> kind -> int
@@ -62,18 +124,34 @@ val explore :
   ?num_blocks:int ->
   ?durable_files:int ->
   ?racing_files:int ->
+  ?forensics:bool ->
   ?obs:Iron_obs.Obs.t ->
   Iron_vfs.Fs.brand ->
   report
 (** [explore brand] runs the whole pipeline. Defaults: [jobs = 1],
     [seed = 7], [max_states = 1000] (systematic states first, seeded
     random per-block prefixes top up to the bound), [num_blocks =
-    2048], [durable_files = 4], [racing_files = 4]. With [~obs] the
-    run bumps [crash.states_explored], [crash.violations],
-    [crash.tc_detected] and per-kind counters, and wraps the phases in
-    [crash.*] spans. Deterministic: the report is a pure function of
+    2048], [durable_files = 4], [racing_files = 4], [forensics =
+    false]. With [~obs] the run bumps [crash.states_explored],
+    [crash.violations], [crash.tc_detected] and per-kind counters, and
+    wraps the phases in [crash.*] spans. With [~forensics:true] every
+    violation is minimized to a culprit set (adding
+    [crash.forensics.*] counters and a [crash.forensics] span) and the
+    provenance-tagged write log is kept in the report. Deterministic:
+    the report — including chains and log — is a pure function of
     [(brand, seed, max_states, num_blocks, durable_files,
-    racing_files)] — [jobs] cannot change it. *)
+    racing_files, forensics)] — [jobs] cannot change it. *)
 
 val pp_report : Format.formatter -> report -> unit
-(** One summary line plus the first few violations. *)
+(** One summary line plus the first few violations. Byte-stable: does
+    not mention forensics (goldens pin it). *)
+
+val pp_chain : Format.formatter -> chain -> unit
+(** The violation, its root-cause summary, and each culprit with its
+    provenance, one per line. *)
+
+val pp_timeline : ?chains:chain list -> Format.formatter -> report -> unit
+(** The merged write-log timeline: one line per recorded write —
+    sequence, epoch, block and type, journal txn/role, originating op,
+    fault rule — with culprit writes of any of [?chains] flagged
+    [!!]. *)

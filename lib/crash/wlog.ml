@@ -8,8 +8,16 @@
    per successful write. *)
 
 module Dev = Iron_disk.Dev
+module Prov = Iron_obs.Prov
 
-type entry = { w_seq : int; w_block : int; w_data : bytes; w_epoch : int }
+type entry = {
+  w_seq : int;
+  w_block : int;
+  w_data : bytes;
+  w_epoch : int;
+  w_t : float;
+  w_prov : Prov.tag;
+}
 
 type t = {
   below : Dev.t;
@@ -20,7 +28,15 @@ type t = {
   mutable recording : bool;
 }
 
-let dummy = { w_seq = -1; w_block = -1; w_data = Bytes.create 0; w_epoch = -1 }
+let dummy =
+  {
+    w_seq = -1;
+    w_block = -1;
+    w_data = Bytes.create 0;
+    w_epoch = -1;
+    w_t = 0.0;
+    w_prov = Prov.none;
+  }
 
 let create below =
   {
@@ -64,6 +80,8 @@ let write t block data =
             w_block = block;
             w_data = Bytes.copy data;
             w_epoch = t.epoch;
+            w_t = t.below.Dev.now ();
+            w_prov = Prov.current ();
           };
         t.writes_in_epoch <- t.writes_in_epoch + 1
       end;

@@ -19,6 +19,15 @@ type entry = {
   w_block : int;
   w_data : bytes;  (** frozen private copy — do not mutate *)
   w_epoch : int;  (** sync boundaries delimit epochs, from 0 *)
+  w_t : float;
+      (** simulated device time at the write ([Dev.now] below); [0.0]
+          when the service-time model is off, in which case [w_seq]
+          carries the ordering — the same convention as {!Iron_obs.Obs}
+          spans *)
+  w_prov : Iron_obs.Prov.tag;
+      (** the ambient causal tag sampled when the write was recorded:
+          originating workload op, journal transaction + commit policy,
+          block role, and any fault rule that fired *)
 }
 
 type t

@@ -10,9 +10,41 @@ type corruption =
 type kind = Fail_read | Fail_write | Corrupt of corruption
 type persistence = Sticky | Transient of int | Until_write | After of int
 type target = Block of int | Range of int * int | Blocks of int list | Whole_disk
-type rule = { target : target; kind : kind; persistence : persistence }
+type rule = {
+  name : string;
+  target : target;
+  kind : kind;
+  persistence : persistence;
+}
 
-let rule ?(persistence = Sticky) target kind = { target; kind; persistence }
+(* Auto-names are derived from what the rule does, never from arm
+   order, so attribution stays stable when the caller shuffles its
+   arming sequence. *)
+let kind_slug = function
+  | Fail_read -> "fail_read"
+  | Fail_write -> "fail_write"
+  | Corrupt Zeroes -> "corrupt.zeroes"
+  | Corrupt (Noise _) -> "corrupt.noise"
+  | Corrupt (Bit_flip _) -> "corrupt.bit_flip"
+  | Corrupt Byte_shift -> "corrupt.byte_shift"
+  | Corrupt (Tweak _) -> "corrupt.tweak"
+
+let target_slug = function
+  | Block b -> Printf.sprintf "blk%d" b
+  | Range (lo, hi) -> Printf.sprintf "blk%d-%d" lo hi
+  | Blocks [] -> "blks-none"
+  | Blocks (b :: _ as bs) -> Printf.sprintf "blks%dx%d" b (List.length bs)
+  | Whole_disk -> "disk"
+
+let rule_name r = r.name
+
+let rule ?name ?(persistence = Sticky) target kind =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> kind_slug kind ^ "@" ^ target_slug target
+  in
+  { name; target; kind; persistence }
 
 type armed = {
   id : int;
@@ -180,18 +212,25 @@ let record t dir block outcome =
   end
 
 (* Count injections (as opposed to propagated device errors) under
-   fault.inject.*; fired when an armed rule actually bites. *)
-let record_injection t kind =
+   fault.inject.*; fired when an armed rule actually bites. The rule's
+   stable name is noted in the ambient provenance tag (so a recorded
+   write carries the rule that mangled it) and surfaced as an obs
+   event plus a per-rule [fault.inject.<name>] counter alongside the
+   aggregate per-kind one. *)
+let record_injection t a block =
+  Iron_obs.Prov.note_rule a.r.name;
   match t.obs with
   | None -> ()
   | Some obs ->
-      let name =
-        match kind with
+      let agg =
+        match a.r.kind with
         | Fail_read -> "fail_read"
         | Fail_write -> "fail_write"
         | Corrupt _ -> "corrupt"
       in
-      Iron_obs.Obs.incr obs ("fault.inject." ^ name)
+      Iron_obs.Obs.incr obs ("fault.inject." ^ agg);
+      Iron_obs.Obs.event obs ~subsystem:"fault.inject" ~blocks:(block, block)
+        a.r.name
 
 let corrupt_block corruption data =
   match corruption with
@@ -216,7 +255,7 @@ let read t block =
   match firing t Read block with
   | Some ({ r = { kind = Fail_read; _ }; _ } as a) ->
       commit_firing a;
-      record_injection t Fail_read;
+      record_injection t a block;
       record t Read block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
   | Some ({ r = { kind = Corrupt c; _ }; _ } as a) -> (
@@ -224,7 +263,7 @@ let read t block =
       | Ok data ->
           corrupt_block c data;
           commit_firing a;
-          record_injection t (Corrupt c);
+          record_injection t a block;
           record t Read block Io_corrupted;
           Ok data
       | Error e ->
@@ -250,7 +289,7 @@ let read_into t block buf =
   match firing t Read block with
   | Some ({ r = { kind = Fail_read; _ }; _ } as a) ->
       commit_firing a;
-      record_injection t Fail_read;
+      record_injection t a block;
       record t Read block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
   | Some ({ r = { kind = Corrupt c; _ }; _ } as a) -> (
@@ -258,7 +297,7 @@ let read_into t block buf =
       | Ok () ->
           corrupt_block c buf;
           commit_firing a;
-          record_injection t (Corrupt c);
+          record_injection t a block;
           record t Read block Io_corrupted;
           Ok ()
       | Error e ->
@@ -277,7 +316,7 @@ let write t block data =
   match firing t Write block with
   | Some ({ r = { kind = Fail_write; _ }; _ } as a) ->
       commit_firing a;
-      record_injection t Fail_write;
+      record_injection t a block;
       record t Write block (Io_error Iron_disk.Dev.Eio);
       Error Iron_disk.Dev.Eio
   | Some { r = { kind = Fail_read | Corrupt _; _ }; _ } | None -> (

@@ -59,10 +59,23 @@ type target =
   | Blocks of int list
   | Whole_disk
 
-type rule = { target : target; kind : kind; persistence : persistence }
+type rule = {
+  name : string;
+      (** stable identity for attribution — never derived from arm
+          order *)
+  target : target;
+  kind : kind;
+  persistence : persistence;
+}
 
-val rule : ?persistence:persistence -> target -> kind -> rule
-(** Defaults to [Sticky]. *)
+val rule : ?name:string -> ?persistence:persistence -> target -> kind -> rule
+(** Persistence defaults to [Sticky]. When [name] is omitted a
+    deterministic one is derived from the rule's kind and target
+    (e.g. ["fail_read@blk301"], ["corrupt.noise@blk10-14"]), so two
+    runs that arm the same rules — in any order — report the same
+    identities. *)
+
+val rule_name : rule -> string
 
 (** {2 The injector} *)
 
@@ -73,7 +86,12 @@ val create : ?obs:Iron_obs.Obs.t -> ?trace_cap:int -> Iron_disk.Dev.t -> t
     double-emitted into the observability layer's span buffer (under
     subsystem [fault.io]) and injected faults bump the
     [fault.inject.fail_read] / [fault.inject.fail_write] /
-    [fault.inject.corrupt] counters. [trace_cap] bounds the in-memory
+    [fault.inject.corrupt] aggregate counters plus a per-rule
+    [fault.inject.<rule-name>] counter, with a [fault.inject] obs
+    event naming the rule. Whether or not [obs] is supplied, each
+    committed injection also notes the rule's name in the ambient
+    {!Iron_obs.Prov} tag, so recorded writes carry the fault that
+    bit them. [trace_cap] bounds the in-memory
     I/O trace (default {!default_trace_cap}); once full, the oldest
     events are dropped and counted by {!trace_dropped} — a long-running
     job no longer grows its trace without bound. *)

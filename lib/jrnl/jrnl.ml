@@ -3,6 +3,7 @@ module Bcache = Iron_disk.Bcache
 module Errno = Iron_vfs.Errno
 module Klog = Iron_vfs.Klog
 module Obs = Iron_obs.Obs
+module Prov = Iron_obs.Prov
 open Iron_util
 
 let ( let* ) = Result.bind
@@ -156,6 +157,8 @@ let revoke t b =
 let write_data t b data =
   match t.cfg.mode with
   | Ordered | Tc_checksummed -> (
+      Prov.with_txn ~txn:t.jseq ~policy:(mode_label t.cfg.mode) @@ fun () ->
+      Prov.with_role "data" @@ fun () ->
       match Bcache.write t.cfg.cache b data with Ok () -> true | Error _ -> false)
   | Writeback ->
       if not (Hashtbl.mem t.pending b) then t.pending_order <- b :: t.pending_order;
@@ -187,6 +190,7 @@ let journal_write t jb data =
       else true
 
 let write_jsuper t =
+  Prov.with_role "jsb" @@ fun () ->
   let buf = zero_block t in
   Jrec.encode_jsuper { Jrec.sequence = t.jseq; start = t.jhead } buf;
   (match t.hooks.jsb_shadow with Some f -> f buf | None -> ());
@@ -205,6 +209,8 @@ let write_jsuper t =
    DZero on writes. *)
 let checkpoint t =
   Obs.span_a ~subsystem:"jrnl" "checkpoint" @@ fun () ->
+  Prov.with_txn ~txn:t.jseq ~policy:(mode_label t.cfg.mode) @@ fun () ->
+  Prov.with_role "checkpoint" @@ fun () ->
   (* Elevator order: writeback sweeps the disk in one direction, as the
      kernel's flusher would, instead of seeking in insertion order. *)
   let blocks = List.sort compare (List.rev t.pending_order) in
@@ -232,6 +238,7 @@ let commit t =
   else if aborted t then Error Errno.EROFS
   else
     Obs.span_a ~subsystem:"jrnl" "commit" @@ fun () ->
+    Prov.with_txn ~txn:t.jseq ~policy:(mode_label t.cfg.mode) @@ fun () ->
     begin
     let tc = t.cfg.mode = Tc_checksummed in
     (* Blocks the policy excludes from the log (ext3's replica copies
@@ -248,12 +255,13 @@ let commit t =
          real system avoids by bounding transaction size; our workloads
          never hit it, but fault injection might. *)
       Klog.warn t.cfg.klog t.cfg.tag "transaction larger than journal; direct flush";
-      List.iter
-        (fun b ->
-          match Hashtbl.find_opt t.txn b with
-          | Some data -> ignore (Bcache.write t.cfg.cache b data)
-          | None -> ())
-        blocks;
+      Prov.with_role "direct" (fun () ->
+          List.iter
+            (fun b ->
+              match Hashtbl.find_opt t.txn b with
+              | Some data -> ignore (Bcache.write t.cfg.cache b data)
+              | None -> ())
+            blocks);
       Hashtbl.reset t.txn;
       t.txn_order <- [];
       t.txn_revoked <- [];
@@ -263,7 +271,7 @@ let commit t =
       let seq = t.jseq in
       let buf = zero_block t in
       Jrec.encode_desc { Jrec.seq; tags = blocks } buf;
-      let ok = ref (journal_write t t.jhead buf) in
+      let ok = ref (Prov.with_role "desc" (fun () -> journal_write t t.jhead buf)) in
       let pos = ref (t.jhead + 1) in
       let cksum_ctx = Sha1.init () in
       List.iter
@@ -271,14 +279,16 @@ let commit t =
           match Hashtbl.find_opt t.txn b with
           | None -> ()
           | Some data ->
-              if !ok then ok := journal_write t !pos data;
+              if !ok then
+                ok := Prov.with_role "payload" (fun () -> journal_write t !pos data);
               if tc then Sha1.feed cksum_ctx data;
               incr pos)
         blocks;
       if t.txn_revoked <> [] then begin
         let rbuf = zero_block t in
         Jrec.encode_revoke { Jrec.rseq = seq; revoked = t.txn_revoked } rbuf;
-        if !ok then ok := journal_write t !pos rbuf;
+        if !ok then
+          ok := Prov.with_role "revoke" (fun () -> journal_write t !pos rbuf);
         incr pos
       end;
       (* The ordering point: without transactional checksums the commit
@@ -291,7 +301,8 @@ let commit t =
         if tc then Some (Sha1.to_raw (Sha1.finalize cksum_ctx)) else None
       in
       Jrec.encode_commit { Jrec.cseq = seq; checksum } cbuf;
-      if !ok then ok := journal_write t !pos cbuf;
+      if !ok then
+        ok := Prov.with_role "commit" (fun () -> journal_write t !pos cbuf);
       incr pos;
       ignore (t.cfg.dev.Dev.sync ());
       (* Issued after the commit (the journal is authoritative), so the
@@ -436,6 +447,8 @@ let recover ~tag ~iron ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
   let replay_errors = ref 0 in
   List.iter
     (fun (seq, blocks) ->
+      Prov.with_txn ~txn:seq ~policy:"" @@ fun () ->
+      Prov.with_role "replay" @@ fun () ->
       List.iter
         (fun (home, copy) ->
           let revoked =
@@ -471,7 +484,7 @@ let recover ~tag ~iron ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
     in
     let buf = Bytes.make bs '\000' in
     Jrec.encode_jsuper { Jrec.sequence = last_seq; start = geo.jfirst } buf;
-    (match dev.Dev.write geo.jsb buf with
+    (match Prov.with_role "jsb" (fun () -> dev.Dev.write geo.jsb buf) with
     | Ok () -> ()
     | Error _ -> Klog.error klog tag "journal superblock update failed");
     ignore (dev.Dev.sync ());
@@ -728,6 +741,7 @@ module Record = struct
     end
 
   let write_jsuper t =
+    Prov.with_role "jsb" @@ fun () ->
     let buf = Bytes.make t.bs '\000' in
     encode_jsuper t.txid t.geo.jfirst buf;
     match t.dev.Dev.write t.geo.jsb buf with
@@ -740,6 +754,8 @@ module Record = struct
      ignored entirely (DZero). *)
   let checkpoint t =
     Obs.span_a ~subsystem:"jrnl" "checkpoint" @@ fun () ->
+    Prov.with_txn ~txn:t.txid ~policy:"record" @@ fun () ->
+    Prov.with_role "checkpoint" @@ fun () ->
     List.iter
       (fun b ->
         match Hashtbl.find_opt t.overlay b with
@@ -758,6 +774,7 @@ module Record = struct
     if t.records = [] then ()
     else
       Obs.span_a ~subsystem:"jrnl" "commit" @@ fun () ->
+      Prov.with_txn ~txn:t.txid ~policy:"record" @@ fun () ->
       let records =
         List.rev
           ({ r_tx = t.txid; r_commit = true; r_block = 0; r_off = 0; r_data = "" }
@@ -769,13 +786,14 @@ module Record = struct
         (* Oversized transaction: it has already been checkpointed home. *)
         t.records <- []
       else begin
-        List.iter
-          (fun img ->
-            (match t.dev.Dev.write t.jpos img with
-            | Ok () -> ()
-            | Error _ -> () (* journal-data write errors: ignored *));
-            t.jpos <- t.jpos + 1)
-          blocks;
+        Prov.with_role "payload" (fun () ->
+            List.iter
+              (fun img ->
+                (match t.dev.Dev.write t.jpos img with
+                | Ok () -> ()
+                | Error _ -> () (* journal-data write errors: ignored *));
+                t.jpos <- t.jpos + 1)
+              blocks);
         ignore (t.dev.Dev.sync ());
         t.records <- [];
         t.txid <- t.txid + 1
@@ -825,9 +843,11 @@ module Record = struct
             | Ok () ->
                 Bytes.blit_string r.r_data 0 scratch r.r_off
                   (String.length r.r_data);
-                (match dev.Dev.write r.r_block scratch with
-                | Ok () -> ()
-                | Error _ -> ());
+                Prov.with_txn ~txn:r.r_tx ~policy:"record" (fun () ->
+                    Prov.with_role "replay" (fun () ->
+                        match dev.Dev.write r.r_block scratch with
+                        | Ok () -> ()
+                        | Error _ -> ()));
                 Ok ())
         (Ok ()) records
     in
@@ -835,7 +855,9 @@ module Record = struct
       Klog.info klog tag "journal: replayed %d records" (List.length records);
     let js = Bytes.make dev.Dev.block_size '\000' in
     encode_jsuper (txid + 1) geo.jfirst js;
-    (match dev.Dev.write geo.jsb js with Ok () -> () | Error _ -> ());
+    (match Prov.with_role "jsb" (fun () -> dev.Dev.write geo.jsb js) with
+    | Ok () -> ()
+    | Error _ -> ());
     ignore (dev.Dev.sync ());
     Ok (txid + 1)
 end

@@ -349,7 +349,7 @@ let jsonl_of_snapshot snap =
     snap;
   Buffer.contents b
 
-let jsonl_of_spans sps =
+let jsonl_of_spans ?(dropped = 0) sps =
   let b = Buffer.create 1024 in
   List.iter
     (fun s ->
@@ -359,9 +359,12 @@ let jsonl_of_spans sps =
            (json_string s.subsystem) (json_string s.name) s.tid s.seq
            (json_float s.t0) (json_float s.dur) s.blk_lo s.blk_hi s.instant))
     sps;
+  if dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "{\"meta\":\"spans_dropped\",\"dropped\":%d}\n" dropped);
   Buffer.contents b
 
-let chrome_trace procs =
+let chrome_trace ?(dropped = []) procs =
   let b = Buffer.create 4096 in
   Buffer.add_string b "[";
   let first = ref true in
@@ -400,7 +403,14 @@ let chrome_trace procs =
                  (json_float (s.t0 *. 1000.0))
                  (json_float (s.dur *. 1000.0))
                  args))
-        sps)
+        sps;
+      match List.assoc_opt proc_name dropped with
+      | Some n when n > 0 ->
+          add_record
+            (Printf.sprintf
+               "{\"name\":\"spans_dropped\",\"cat\":\"meta\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":0,\"ts\":0,\"args\":{\"dropped\":%d}}"
+               pid n)
+      | Some _ | None -> ())
     procs;
   Buffer.add_string b "\n]\n";
   Buffer.contents b

@@ -186,14 +186,20 @@ val jsonl_of_snapshot : snapshot -> string
     with ["+Inf"] as the overflow bound. Byte-stable for equal
     snapshots. *)
 
-val jsonl_of_spans : span list -> string
-(** One JSON object per span, in the given order. *)
+val jsonl_of_spans : ?dropped:int -> span list -> string
+(** One JSON object per span, in the given order. When [dropped > 0]
+    (spans evicted from the ring, {!spans_dropped}), a trailing
+    [{"meta":"spans_dropped","dropped":N}] record makes the truncation
+    self-describing instead of silently omitting history. *)
 
-val chrome_trace : (string * span list) list -> string
+val chrome_trace :
+  ?dropped:(string * int) list -> (string * span list) list -> string
 (** [chrome_trace [(proc_name, spans); ...]] renders the Chrome
     [trace_event] JSON-array format: each list element becomes one
     process (with a [process_name] metadata record), intervals become
     ["ph":"X"] complete events and instants ["ph":"i"], with
     timestamps in microseconds of simulated time and block ranges in
-    [args]. Open the result in [chrome://tracing] or
-    {{:https://ui.perfetto.dev}Perfetto}. *)
+    [args]. [dropped] maps process names to their eviction counts;
+    a process with a positive count gets a trailing [spans_dropped]
+    instant carrying the count in [args]. Open the result in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)

@@ -1,0 +1,39 @@
+(* Ambient causal tags: see prov.mli.
+
+   The tag lives in a per-domain DLS slot as an immutable record
+   behind a ref, exactly like Obs's ambient context. Scoping helpers
+   save and restore the previous tag with Fun.protect, so a tag can
+   never leak past the operation that installed it even when the
+   wrapped callback raises (mount panics, injected faults). *)
+
+type tag = {
+  op : int;
+  op_label : string;
+  txn : int;
+  policy : string;
+  role : string;
+  rule : string;
+}
+
+let none =
+  { op = -1; op_label = ""; txn = -1; policy = ""; role = ""; rule = "" }
+
+let dls_tag : tag ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref none)
+
+let current () = !(Domain.DLS.get dls_tag)
+
+let scoped next f =
+  let slot = Domain.DLS.get dls_tag in
+  let saved = !slot in
+  slot := next;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+(* A new VFS op is a fresh causal root: faults noted during the
+   previous op must not bleed into this one. *)
+let with_op op op_label f = scoped { (current ()) with op; op_label; rule = "" } f
+let with_txn ~txn ~policy f = scoped { (current ()) with txn; policy } f
+let with_role role f = scoped { (current ()) with role } f
+
+let note_rule rule =
+  let slot = Domain.DLS.get dls_tag in
+  slot := { !slot with rule }

@@ -1,0 +1,53 @@
+(** Ambient block provenance: the causal tag a write carries.
+
+    The crash-state explorer can enumerate what a fail-partial disk
+    might have left behind, but turning a violation into a diagnosis
+    needs to know {e why} each logged write happened: which workload
+    step issued it, which journal transaction it belongs to and under
+    which commit policy, what role the block plays in that transaction
+    (descriptor, payload, commit record, checkpoint, ...), and whether
+    a fault-injection rule fired on the way down.
+
+    This module carries that tag {e ambiently}, per domain, exactly
+    like {!Obs}'s ambient context: layers that cannot thread an
+    argument through the frozen VFS signature (the journal commit
+    path, three layers below the workload) still contribute their
+    fields. The workload driver scopes {!with_op}, the journal engines
+    scope {!with_txn} and {!with_role}, the fault injector calls
+    {!note_rule}, and the {!Iron_crash.Wlog} recorder samples
+    {!current} at every successful write.
+
+    Tags are immutable records in a per-domain slot; scoping helpers
+    restore the previous tag on exit (also on exceptions), so the
+    discipline is purely dynamic — no cooperation needed between
+    layers. Everything is deterministic: recording happens in a single
+    domain and no field depends on wall-clock time or scheduling. *)
+
+type tag = {
+  op : int;  (** workload step index, or [-1] outside any op *)
+  op_label : string;  (** human label, e.g. ["write /racing0"] *)
+  txn : int;  (** journal transaction sequence, or [-1] *)
+  policy : string;  (** commit policy label, e.g. ["ordered"] *)
+  role : string;  (** block role, e.g. ["payload"], ["commit"] *)
+  rule : string;  (** last fault rule fired during this op, or [""] *)
+}
+
+val none : tag
+(** The empty tag: all [-1] / [""]. *)
+
+val current : unit -> tag
+(** The calling domain's ambient tag ({!none} if nothing is scoped). *)
+
+val with_op : int -> string -> (unit -> 'a) -> 'a
+(** [with_op i label f] runs [f] with the op fields set (and the fault
+    [rule] field cleared — a new op is a fresh causal root). *)
+
+val with_txn : txn:int -> policy:string -> (unit -> 'a) -> 'a
+(** Scope the journal transaction id and commit-policy label. *)
+
+val with_role : string -> (unit -> 'a) -> 'a
+(** Scope the block role within the current transaction. *)
+
+val note_rule : string -> unit
+(** Record that the named fault rule fired; sticks until the enclosing
+    {!with_op} (or a later {!note_rule}) replaces it. *)

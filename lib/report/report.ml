@@ -49,6 +49,57 @@ type crash = {
   violations : crash_violation list;
 }
 
+type forensic_culprit = {
+  fc_block : int;
+  fc_label : string;
+  fc_role : string;
+  fc_txn : int;
+  fc_policy : string;
+  fc_epoch : int;
+  fc_op : int;
+  fc_op_label : string;
+  fc_rule : string;
+  fc_first_seq : int;
+  fc_dropped : int;
+  fc_torn : bool;
+}
+
+type forensic_chain = {
+  fh_state : string;
+  fh_kind : string;
+  fh_detail : string;
+  fh_probes : int;
+  fh_summary : string;
+  fh_culprits : forensic_culprit list;
+}
+
+type forensic_log = {
+  fl_seq : int;
+  fl_block : int;
+  fl_epoch : int;
+  fl_label : string;
+  fl_txn : int;
+  fl_policy : string;
+  fl_role : string;
+  fl_op : int;
+  fl_op_label : string;
+  fl_rule : string;
+}
+
+type forensics = {
+  fo_fs : string;
+  fo_seed : int;
+  fo_max_states : int;
+  fo_chains : forensic_chain list;
+  fo_log : forensic_log list;
+}
+
+type metrics_set = {
+  m_name : string;
+  m_seed : int;
+  m_metrics : (string * int) list;
+}
+
 type bench_record = {
   experiment : string;
   wall_ms : int;
@@ -71,18 +122,24 @@ type thresholds = { rules : rule list }
 type t =
   | Fingerprint of fingerprint
   | Crash of crash
+  | Forensics of forensics
+  | Metrics of metrics_set
   | Bench of bench
   | Thresholds of thresholds
 
 let kind_name = function
   | Fingerprint _ -> "fingerprint"
   | Crash _ -> "crash"
+  | Forensics _ -> "forensics"
+  | Metrics _ -> "metrics"
   | Bench _ -> "bench"
   | Thresholds _ -> "bench-thresholds"
 
 let filename = function
   | Fingerprint f -> Printf.sprintf "fingerprint-%s.json" f.fp_fs
   | Crash c -> Printf.sprintf "crash-%s.json" c.c_fs
+  | Forensics f -> Printf.sprintf "forensics-%s.json" f.fo_fs
+  | Metrics m -> Printf.sprintf "metrics-%s.json" m.m_name
   | Bench _ -> "bench.json"
   | Thresholds _ -> "bench-thresholds.json"
 
@@ -163,6 +220,79 @@ let of_crash ~seed ~max_states (r : Explore.report) =
           r.Explore.violations;
     }
 
+let of_forensics ~seed ~max_states (r : Explore.report) =
+  Forensics
+    {
+      fo_fs = r.Explore.fs;
+      fo_seed = seed;
+      fo_max_states = max_states;
+      fo_chains =
+        List.map
+          (fun (ch : Explore.chain) ->
+            {
+              fh_state = ch.Explore.ch_state;
+              fh_kind = Explore.kind_to_string ch.Explore.ch_kind;
+              fh_detail = ch.Explore.ch_detail;
+              fh_probes = ch.Explore.ch_probes;
+              fh_summary = ch.Explore.ch_summary;
+              fh_culprits =
+                List.map
+                  (fun (c : Explore.culprit) ->
+                    {
+                      fc_block = c.Explore.cu_block;
+                      fc_label = c.Explore.cu_label;
+                      fc_role = c.Explore.cu_role;
+                      fc_txn = c.Explore.cu_txn;
+                      fc_policy = c.Explore.cu_policy;
+                      fc_epoch = c.Explore.cu_epoch;
+                      fc_op = c.Explore.cu_op;
+                      fc_op_label = c.Explore.cu_op_label;
+                      fc_rule = c.Explore.cu_rule;
+                      fc_first_seq = c.Explore.cu_first_seq;
+                      fc_dropped = c.Explore.cu_dropped;
+                      fc_torn = c.Explore.cu_torn;
+                    })
+                  ch.Explore.ch_culprits;
+            })
+          r.Explore.chains;
+      fo_log =
+        List.map
+          (fun (l : Explore.logged) ->
+            {
+              fl_seq = l.Explore.lg_seq;
+              fl_block = l.Explore.lg_block;
+              fl_epoch = l.Explore.lg_epoch;
+              fl_label = l.Explore.lg_label;
+              fl_txn = l.Explore.lg_txn;
+              fl_policy = l.Explore.lg_policy;
+              fl_role = l.Explore.lg_role;
+              fl_op = l.Explore.lg_op;
+              fl_op_label = l.Explore.lg_op_label;
+              fl_rule = l.Explore.lg_rule;
+            })
+          r.Explore.log;
+    }
+
+let of_metrics ~name ~seed metrics =
+  Metrics { m_name = name; m_seed = seed; m_metrics = metrics }
+
+(* Counters verbatim; gauges truncated (they are whole numbers in the
+   deterministic registries, e.g. queue depths); histograms as their
+   count and truncated sum — all integers, so the artifact compares
+   exactly. *)
+let metrics_of_snapshot snap =
+  List.concat_map
+    (fun (path, v) ->
+      match v with
+      | Iron_obs.Obs.Counter n -> [ (path, n) ]
+      | Iron_obs.Obs.Gauge g -> [ (path, int_of_float g) ]
+      | Iron_obs.Obs.Histogram h ->
+          [
+            (path ^ ".count", h.Iron_obs.Obs.count);
+            (path ^ ".sum", int_of_float h.Iron_obs.Obs.sum);
+          ])
+    snap
+
 let bench_of_records records = Bench { records }
 
 (* ------------------------------------------------------------------ *)
@@ -235,6 +365,73 @@ let json_of t =
                          ("detail", Json.String v.detail);
                        ])
                    c.violations) );
+          ])
+  | Forensics f ->
+      Json.Assoc
+        (head "forensics"
+        @ [
+            ("fs", Json.String f.fo_fs);
+            ("seed", Json.Int f.fo_seed);
+            ("max_states", Json.Int f.fo_max_states);
+            ( "chains",
+              Json.List
+                (List.map
+                   (fun ch ->
+                     Json.Assoc
+                       [
+                         ("state", Json.String ch.fh_state);
+                         ("kind", Json.String ch.fh_kind);
+                         ("detail", Json.String ch.fh_detail);
+                         ("probes", Json.Int ch.fh_probes);
+                         ("summary", Json.String ch.fh_summary);
+                         ( "culprits",
+                           Json.List
+                             (List.map
+                                (fun c ->
+                                  Json.Assoc
+                                    [
+                                      ("block", Json.Int c.fc_block);
+                                      ("label", Json.String c.fc_label);
+                                      ("role", Json.String c.fc_role);
+                                      ("txn", Json.Int c.fc_txn);
+                                      ("policy", Json.String c.fc_policy);
+                                      ("epoch", Json.Int c.fc_epoch);
+                                      ("op", Json.Int c.fc_op);
+                                      ("op_label", Json.String c.fc_op_label);
+                                      ("rule", Json.String c.fc_rule);
+                                      ("first_seq", Json.Int c.fc_first_seq);
+                                      ("dropped", Json.Int c.fc_dropped);
+                                      ("torn", Json.Bool c.fc_torn);
+                                    ])
+                                ch.fh_culprits) );
+                       ])
+                   f.fo_chains) );
+            ( "log",
+              Json.List
+                (List.map
+                   (fun l ->
+                     Json.Assoc
+                       [
+                         ("seq", Json.Int l.fl_seq);
+                         ("block", Json.Int l.fl_block);
+                         ("epoch", Json.Int l.fl_epoch);
+                         ("label", Json.String l.fl_label);
+                         ("txn", Json.Int l.fl_txn);
+                         ("policy", Json.String l.fl_policy);
+                         ("role", Json.String l.fl_role);
+                         ("op", Json.Int l.fl_op);
+                         ("op_label", Json.String l.fl_op_label);
+                         ("rule", Json.String l.fl_rule);
+                       ])
+                   f.fo_log) );
+          ])
+  | Metrics m ->
+      Json.Assoc
+        (head "metrics"
+        @ [
+            ("name", Json.String m.m_name);
+            ("seed", Json.Int m.m_seed);
+            ("metrics", json_counters m.m_metrics);
           ])
   | Bench b ->
       Json.Assoc
@@ -392,6 +589,98 @@ let crash_of j =
          violations;
        })
 
+let forensics_of j =
+  let* fo_fs = Json.mem_str "fs" j in
+  let* fo_seed = Json.mem_int "seed" j in
+  let* fo_max_states = Json.mem_int "max_states" j in
+  let culprit_of c =
+    let* fc_block = Json.mem_int "block" c in
+    let* fc_label = Json.mem_str "label" c in
+    let* fc_role = Json.mem_str "role" c in
+    let* fc_txn = Json.mem_int "txn" c in
+    let* fc_policy = Json.mem_str "policy" c in
+    let* fc_epoch = Json.mem_int "epoch" c in
+    let* fc_op = Json.mem_int "op" c in
+    let* fc_op_label = Json.mem_str "op_label" c in
+    let* fc_rule = Json.mem_str "rule" c in
+    let* fc_first_seq = Json.mem_int "first_seq" c in
+    let* fc_dropped = Json.mem_int "dropped" c in
+    let* fc_torn =
+      let* m = Json.member "torn" c in
+      Json.to_bool m
+    in
+    Ok
+      {
+        fc_block;
+        fc_label;
+        fc_role;
+        fc_txn;
+        fc_policy;
+        fc_epoch;
+        fc_op;
+        fc_op_label;
+        fc_rule;
+        fc_first_seq;
+        fc_dropped;
+        fc_torn;
+      }
+  in
+  let* fo_chains =
+    let* m = Json.mem_list "chains" j in
+    map_result
+      (fun ch ->
+        let* fh_state = Json.mem_str "state" ch in
+        let* fh_kind = Json.mem_str "kind" ch in
+        let* fh_detail = Json.mem_str "detail" ch in
+        let* fh_probes = Json.mem_int "probes" ch in
+        let* fh_summary = Json.mem_str "summary" ch in
+        let* fh_culprits =
+          let* cs = Json.mem_list "culprits" ch in
+          map_result culprit_of cs
+        in
+        Ok { fh_state; fh_kind; fh_detail; fh_probes; fh_summary; fh_culprits })
+      m
+  in
+  let* fo_log =
+    let* m = Json.mem_list "log" j in
+    map_result
+      (fun l ->
+        let* fl_seq = Json.mem_int "seq" l in
+        let* fl_block = Json.mem_int "block" l in
+        let* fl_epoch = Json.mem_int "epoch" l in
+        let* fl_label = Json.mem_str "label" l in
+        let* fl_txn = Json.mem_int "txn" l in
+        let* fl_policy = Json.mem_str "policy" l in
+        let* fl_role = Json.mem_str "role" l in
+        let* fl_op = Json.mem_int "op" l in
+        let* fl_op_label = Json.mem_str "op_label" l in
+        let* fl_rule = Json.mem_str "rule" l in
+        Ok
+          {
+            fl_seq;
+            fl_block;
+            fl_epoch;
+            fl_label;
+            fl_txn;
+            fl_policy;
+            fl_role;
+            fl_op;
+            fl_op_label;
+            fl_rule;
+          })
+      m
+  in
+  Ok (Forensics { fo_fs; fo_seed; fo_max_states; fo_chains; fo_log })
+
+let metrics_of j =
+  let* m_name = Json.mem_str "name" j in
+  let* m_seed = Json.mem_int "seed" j in
+  let* m_metrics =
+    let* m = Json.member "metrics" j in
+    counters_of m
+  in
+  Ok (Metrics { m_name; m_seed; m_metrics })
+
 let bench_of j =
   let* records =
     let* m = Json.mem_list "records" j in
@@ -452,6 +741,8 @@ let of_string s =
     match kind with
     | "fingerprint" -> fingerprint_of j
     | "crash" -> crash_of j
+    | "forensics" -> forensics_of j
+    | "metrics" -> metrics_of j
     | "bench" -> bench_of j
     | "bench-thresholds" -> thresholds_of j
     | k -> Error (Printf.sprintf "unknown artifact kind %S" k)
@@ -483,6 +774,7 @@ let is_exact_metric name =
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
   suffix ".states" || suffix ".violations" || suffix ".tc_detected"
+  || suffix ".chains" || suffix ".culprits" || suffix ".probes"
   || name = "jobs"
 
 let item path golden fresh = { path; golden; fresh }
@@ -621,6 +913,95 @@ let diff_crash g f =
     g.violations;
   List.rev !items
 
+let show_culprit c =
+  Printf.sprintf
+    "blk %d (%s) %s x%d from w%d epoch %d txn %d [%s] role %s op %d (%s) rule %S"
+    c.fc_block c.fc_label
+    (if c.fc_torn then "torn" else "dropped")
+    c.fc_dropped c.fc_first_seq c.fc_epoch c.fc_txn c.fc_policy c.fc_role
+    c.fc_op c.fc_op_label c.fc_rule
+
+let show_logged l =
+  Printf.sprintf "w%d blk %d (%s) epoch %d txn %d [%s] role %s op %d (%s) rule %S"
+    l.fl_seq l.fl_block l.fl_label l.fl_epoch l.fl_txn l.fl_policy l.fl_role
+    l.fl_op l.fl_op_label l.fl_rule
+
+(* Forensics artifacts are deterministic by explore's contract: exact
+   comparison, element-wise, noise-capped like crash violations. *)
+let diff_forensics g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let pre = "forensics/" ^ g.fo_fs in
+  let scalar name gv fv =
+    if gv <> fv then
+      push (item (pre ^ "/" ^ name) (string_of_int gv) (string_of_int fv))
+  in
+  if g.fo_fs <> f.fo_fs then push (item (pre ^ "/fs") g.fo_fs f.fo_fs);
+  scalar "seed" g.fo_seed f.fo_seed;
+  scalar "max_states" g.fo_max_states f.fo_max_states;
+  let gn = List.length g.fo_chains and fn = List.length f.fo_chains in
+  if gn <> fn then
+    push
+      (item (pre ^ "/chains")
+         (Printf.sprintf "%d chains" gn)
+         (Printf.sprintf "%d chains" fn));
+  let shown = ref 0 in
+  List.iteri
+    (fun i gc ->
+      match List.nth_opt f.fo_chains i with
+      | Some fc when gc <> fc && !shown < 20 ->
+          incr shown;
+          let cpre = Printf.sprintf "%s/chains[%d]" pre i in
+          if (gc.fh_state, gc.fh_kind, gc.fh_detail) <> (fc.fh_state, fc.fh_kind, fc.fh_detail)
+          then
+            push
+              (item (cpre ^ "/violation")
+                 (Printf.sprintf "[%s] %s: %s" gc.fh_kind gc.fh_state gc.fh_detail)
+                 (Printf.sprintf "[%s] %s: %s" fc.fh_kind fc.fh_state fc.fh_detail));
+          if gc.fh_probes <> fc.fh_probes then
+            push
+              (item (cpre ^ "/probes")
+                 (string_of_int gc.fh_probes)
+                 (string_of_int fc.fh_probes));
+          if gc.fh_summary <> fc.fh_summary then
+            push (item (cpre ^ "/summary") gc.fh_summary fc.fh_summary);
+          if gc.fh_culprits <> fc.fh_culprits then
+            push
+              (item (cpre ^ "/culprits")
+                 (String.concat "; " (List.map show_culprit gc.fh_culprits))
+                 (String.concat "; " (List.map show_culprit fc.fh_culprits)))
+      | _ -> ())
+    g.fo_chains;
+  let gl = List.length g.fo_log and fl = List.length f.fo_log in
+  if gl <> fl then
+    push
+      (item (pre ^ "/log")
+         (Printf.sprintf "%d writes" gl)
+         (Printf.sprintf "%d writes" fl));
+  let shown = ref 0 in
+  List.iteri
+    (fun i gw ->
+      match List.nth_opt f.fo_log i with
+      | Some fw when gw <> fw && !shown < 20 ->
+          incr shown;
+          push
+            (item
+               (Printf.sprintf "%s/log[%d]" pre i)
+               (show_logged gw) (show_logged fw))
+      | _ -> ())
+    g.fo_log;
+  List.rev !items
+
+let diff_metrics g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let pre = "metrics/" ^ g.m_name in
+  if g.m_name <> f.m_name then push (item (pre ^ "/name") g.m_name f.m_name);
+  if g.m_seed <> f.m_seed then
+    push
+      (item (pre ^ "/seed") (string_of_int g.m_seed) (string_of_int f.m_seed));
+  List.rev !items @ diff_counters pre g.m_metrics f.m_metrics
+
 let within_tol tol golden fresh =
   let g = float_of_int golden and f = float_of_int fresh in
   Float.abs (f -. g) <= tol *. Float.max (Float.abs g) 1.0
@@ -735,6 +1116,8 @@ let diff ?(timing_tol = default_timing_tol) golden fresh =
   match (golden, fresh) with
   | Fingerprint g, Fingerprint f -> Ok (diff_fingerprint g f)
   | Crash g, Crash f -> Ok (diff_crash g f)
+  | Forensics g, Forensics f -> Ok (diff_forensics g f)
+  | Metrics g, Metrics f -> Ok (diff_metrics g f)
   | Bench g, Bench f -> Ok (diff_bench ~timing_tol g f)
   | Thresholds th, Bench b -> Ok (check_thresholds th b)
   | g, f ->

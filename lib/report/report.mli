@@ -75,6 +75,66 @@ type crash = {
   violations : crash_violation list;  (** in exploration order *)
 }
 
+(** One minimized culprit of a {!forensic_chain} — a dropped (or torn)
+    per-block write suffix whose restoration makes the violation
+    disappear, with the provenance its first dropped write was recorded
+    under. Mirrors {!Iron_crash.Explore.culprit}. *)
+type forensic_culprit = {
+  fc_block : int;
+  fc_label : string;
+  fc_role : string;
+  fc_txn : int;
+  fc_policy : string;
+  fc_epoch : int;
+  fc_op : int;
+  fc_op_label : string;
+  fc_rule : string;
+  fc_first_seq : int;
+  fc_dropped : int;
+  fc_torn : bool;
+}
+
+type forensic_chain = {
+  fh_state : string;
+  fh_kind : string;  (** {!Iron_crash.Explore.kind_to_string} *)
+  fh_detail : string;
+  fh_probes : int;
+  fh_summary : string;  (** one-line root cause *)
+  fh_culprits : forensic_culprit list;
+}
+
+(** One provenance-tagged write of the recorded log (the [iron explain]
+    timeline). [w_t] is omitted: exploration runs with the service-time
+    model off, so [fl_seq] carries the ordering. *)
+type forensic_log = {
+  fl_seq : int;
+  fl_block : int;
+  fl_epoch : int;
+  fl_label : string;
+  fl_txn : int;
+  fl_policy : string;
+  fl_role : string;
+  fl_op : int;
+  fl_op_label : string;
+  fl_rule : string;
+}
+
+type forensics = {
+  fo_fs : string;
+  fo_seed : int;
+  fo_max_states : int;
+  fo_chains : forensic_chain list;  (** in violation order *)
+  fo_log : forensic_log list;  (** in issue order *)
+}
+
+(** A named deterministic counter set ([iron stats] / [--metrics]
+    output as an artifact). *)
+type metrics_set = {
+  m_name : string;
+  m_seed : int;
+  m_metrics : (string * int) list;
+}
+
 type bench_record = {
   experiment : string;
   wall_ms : int;  (** wall-clock; compared only under tolerance *)
@@ -99,16 +159,19 @@ type thresholds = { rules : rule list }
 type t =
   | Fingerprint of fingerprint
   | Crash of crash
+  | Forensics of forensics
+  | Metrics of metrics_set
   | Bench of bench
   | Thresholds of thresholds
 
 val kind_name : t -> string
-(** ["fingerprint"] | ["crash"] | ["bench"] | ["bench-thresholds"]. *)
+(** ["fingerprint"] | ["crash"] | ["forensics"] | ["metrics"] |
+    ["bench"] | ["bench-thresholds"]. *)
 
 val filename : t -> string
 (** Canonical basename for an artifact directory:
-    [fingerprint-<fs>.json], [crash-<fs>.json], [bench.json],
-    [bench-thresholds.json]. *)
+    [fingerprint-<fs>.json], [crash-<fs>.json], [forensics-<fs>.json],
+    [metrics-<name>.json], [bench.json], [bench-thresholds.json]. *)
 
 (** {1 Builders} *)
 
@@ -119,6 +182,22 @@ val of_fingerprint : seed:int -> Iron_core.Driver.report -> t
     [stats.workers]. *)
 
 val of_crash : seed:int -> max_states:int -> Iron_crash.Explore.report -> t
+
+val of_forensics : seed:int -> max_states:int -> Iron_crash.Explore.report -> t
+(** Capture the causal-forensics side of an [explore ~forensics:true]
+    report: the chains and the provenance-tagged write log. The
+    violation counts themselves stay in the [crash] artifact — the two
+    kinds gate independently. *)
+
+val of_metrics : name:string -> seed:int -> (string * int) list -> t
+(** A deterministic counter snapshot as a versioned, diffable
+    artifact. *)
+
+val metrics_of_snapshot : Iron_obs.Obs.snapshot -> (string * int) list
+(** Flatten an observability snapshot to integer metrics for
+    {!of_metrics}: counters verbatim, gauges truncated, histograms as
+    [<path>.count] / [<path>.sum]. Path order is preserved (snapshots
+    are path-sorted). *)
 
 val bench_of_records : bench_record list -> t
 
@@ -145,10 +224,11 @@ type item = {
 }
 
 val is_exact_metric : string -> bool
-(** Bench metrics compared exactly: state/violation/Tc counts and job
-    counts. Everything else in a bench record (wall-clock, per-cycle
-    microseconds, allocation bytes, speedups) is a timing-class metric
-    compared under tolerance. *)
+(** Bench metrics compared exactly: state/violation/Tc counts,
+    forensics chain/culprit/probe counts and job counts. Everything
+    else in a bench record (wall-clock, per-cycle microseconds,
+    allocation bytes, speedups) is a timing-class metric compared
+    under tolerance. *)
 
 val default_timing_tol : float
 (** [0.5]: a timing metric may drift ±50% relative to golden before it
@@ -158,9 +238,10 @@ val diff : ?timing_tol:float -> t -> t -> (item list, string) result
 (** [diff golden fresh] is [Ok []] when the artifacts agree,
     [Ok items] with one cell-level item per disagreement, and [Error]
     when the two artifacts are not comparable (different kinds — except
-    [Thresholds] vs [Bench], which evaluates the rules). Matrices and
-    crash reports compare exactly; bench timing metrics compare within
-    [timing_tol] (default {!default_timing_tol}). *)
+    [Thresholds] vs [Bench], which evaluates the rules). Matrices,
+    crash reports, forensics reports and metric sets compare exactly;
+    bench timing metrics compare within [timing_tol] (default
+    {!default_timing_tol}). *)
 
 val check_thresholds : thresholds -> bench -> item list
 (** Evaluate each rule against the union of the bench records' metric

@@ -160,6 +160,88 @@ let test_jobs_deterministic () =
       ("reiserfs", Iron_reiserfs.Reiserfs.brand);
     ]
 
+(* --- forensics ---------------------------------------------------------- *)
+
+let test_forensics_attribution () =
+  (* The §6.1 causal story, minimized: ext3's violations come from a
+     journal payload (or commit) write that the reorder window dropped
+     while the commit record persisted — and the chain names the
+     transaction and epoch. *)
+  let r = Explore.explore ~max_states:300 ~forensics:true Iron_ext3.Ext3.std in
+  check Alcotest.bool "violations found" true (r.Explore.violations <> []);
+  check Alcotest.int "one chain per violation"
+    (List.length r.Explore.violations)
+    (List.length r.Explore.chains);
+  check Alcotest.int "full provenance log kept" r.Explore.log_len
+    (List.length r.Explore.log);
+  check Alcotest.bool "every chain has culprits" true
+    (List.for_all (fun c -> c.Explore.ch_culprits <> []) r.Explore.chains);
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  check Alcotest.bool "some chain blames an orphaned commit record" true
+    (List.exists
+       (fun c -> contains ~sub:"commit record of txn" c.Explore.ch_summary)
+       r.Explore.chains);
+  check Alcotest.bool "some culprit is a journal payload write" true
+    (List.exists
+       (fun c ->
+         List.exists (fun cu -> cu.Explore.cu_role = "payload") c.Explore.ch_culprits)
+       r.Explore.chains);
+  (* Culprit seqs point into the recorded log and carry its provenance. *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun cu ->
+          check Alcotest.bool "culprit seq in log range" true
+            (cu.Explore.cu_first_seq >= 0 && cu.Explore.cu_first_seq < r.Explore.log_len);
+          let l = List.nth r.Explore.log cu.Explore.cu_first_seq in
+          check Alcotest.int "culprit block matches log" cu.Explore.cu_block
+            l.Explore.lg_block;
+          check Alcotest.int "culprit epoch matches log" cu.Explore.cu_epoch
+            l.Explore.lg_epoch)
+        c.Explore.ch_culprits)
+    r.Explore.chains
+
+let test_forensics_does_not_perturb () =
+  (* The forensics pass is a pure observer: the violation set (what the
+     crash goldens pin) is byte-identical with it on or off, and ixt3
+     still survives every state — zero chains. *)
+  let off = Explore.explore ~max_states:200 Iron_ext3.Ext3.std in
+  let on = Explore.explore ~max_states:200 ~forensics:true Iron_ext3.Ext3.std in
+  check Alcotest.bool "same violations with forensics on" true
+    (off.Explore.violations = on.Explore.violations
+    && off.Explore.states = on.Explore.states
+    && off.Explore.tc_detected = on.Explore.tc_detected);
+  check Alcotest.bool "forensics off keeps no chains or log" true
+    (off.Explore.chains = [] && off.Explore.log = []);
+  let ix = Explore.explore ~max_states:200 ~forensics:true Iron_ext3.Ext3.ixt3 in
+  check Alcotest.int "ixt3: no violations, no chains" 0
+    (List.length ix.Explore.chains);
+  check Alcotest.bool "ixt3: provenance log still recorded" true
+    (ix.Explore.log <> [])
+
+let test_forensics_jobs_deterministic () =
+  (* Chains, culprits and the provenance log — and therefore the
+     forensics artifact bytes — are a pure function of the seed. *)
+  let r1 =
+    Explore.explore ~jobs:1 ~max_states:200 ~forensics:true Iron_ext3.Ext3.std
+  in
+  let r3 =
+    Explore.explore ~jobs:3 ~max_states:200 ~forensics:true Iron_ext3.Ext3.std
+  in
+  check Alcotest.bool "forensics report is a pure function of the seed" true
+    (r1 = r3);
+  check Alcotest.bool "chains computed" true (r1.Explore.chains <> []);
+  let bytes r =
+    Iron_report.Report.to_string
+      (Iron_report.Report.of_forensics ~seed:7 ~max_states:200 r)
+  in
+  check Alcotest.string "artifact bytes identical across -j" (bytes r1)
+    (bytes r3)
+
 let suites =
   [
     ( "crash.wlog",
@@ -179,5 +261,14 @@ let suites =
           test_ext3_vs_ixt3;
         Alcotest.test_case "-j cannot change the report" `Slow
           test_jobs_deterministic;
+      ] );
+    ( "crash.forensics",
+      [
+        Alcotest.test_case "violations attribute to culprit writes" `Slow
+          test_forensics_attribution;
+        Alcotest.test_case "forensics is a pure observer" `Slow
+          test_forensics_does_not_perturb;
+        Alcotest.test_case "-j cannot change chains or artifact bytes" `Slow
+          test_forensics_jobs_deterministic;
       ] );
   ]

@@ -17,6 +17,7 @@
 
 module Obs = Iron_obs.Obs
 module Ring = Iron_obs.Ring
+module Json = Iron_report.Json
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -186,6 +187,85 @@ let test_exporters_shape () =
   check Alcotest.bool "trace is an array" true
     (String.length trace >= 2 && trace.[0] = '[')
 
+let mk_span ?(seq = 0) ~subsystem ~name () =
+  {
+    Obs.seq;
+    tid = 0;
+    subsystem;
+    name;
+    t0 = float_of_int seq;
+    dur = 1.0;
+    blk_lo = -1;
+    blk_hi = -1;
+    instant = false;
+  }
+
+let test_dropped_meta () =
+  (* A truncated span set must say so: both exporters append a meta
+     record carrying the eviction count, and emit nothing extra when
+     the ring never filled. *)
+  let spans = [ mk_span ~subsystem:"s" ~name:"n" () ] in
+  let jsonl0 = Obs.jsonl_of_spans spans in
+  check Alcotest.bool "no meta when nothing dropped" false
+    (contains jsonl0 "spans_dropped");
+  let jsonl = Obs.jsonl_of_spans ~dropped:3 spans in
+  check Alcotest.bool "jsonl meta record" true
+    (contains jsonl {|{"meta":"spans_dropped","dropped":3}|});
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  check Alcotest.bool "meta record is the last line" true
+    (match List.rev lines with
+    | last :: _ -> contains last "spans_dropped"
+    | [] -> false);
+  let trace0 = Obs.chrome_trace [ ("p", spans) ] in
+  check Alcotest.bool "no trace meta when nothing dropped" false
+    (contains trace0 "spans_dropped");
+  let trace =
+    Obs.chrome_trace ~dropped:[ ("p", 2); ("q", 0) ]
+      [ ("p", spans); ("q", spans) ]
+  in
+  check Alcotest.bool "trace meta instant for p" true
+    (contains trace {|"name":"spans_dropped"|} && contains trace {|"dropped":2|});
+  check Alcotest.bool "no meta for the clean process" false
+    (contains trace {|"dropped":0|})
+
+(* Adversarial subsystem/name strings: whatever bytes a span carries,
+   the exporters must emit parseable JSON that round-trips the string
+   (the strict artifact parser is the oracle). *)
+let nasty_string =
+  QCheck.make ~print:String.escaped
+    QCheck.Gen.(
+      string_size ~gen:(oneofl
+        [ '"'; '\\'; '\n'; '\t'; '\r'; '\x00'; '\x01'; '\x1f'; '/'; 'a'; 'Z'; '0'; ' '; '{'; '['; '}' ])
+        (int_range 0 24))
+
+let prop_exporters_escape =
+  QCheck.Test.make ~count:200 ~name:"exporters survive adversarial strings"
+    (QCheck.pair nasty_string nasty_string)
+    (fun (subsystem, name) ->
+      let spans = [ mk_span ~subsystem ~name () ] in
+      let jsonl = Obs.jsonl_of_spans ~dropped:1 spans in
+      List.iter
+        (fun line ->
+          if line <> "" then
+            match Json.of_string line with
+            | Ok _ -> ()
+            | Error e -> QCheck.Test.fail_reportf "bad JSONL line: %s" e)
+        (String.split_on_char '\n' jsonl);
+      (* The span line round-trips the exact bytes. *)
+      (match Json.of_string (List.hd (String.split_on_char '\n' jsonl)) with
+      | Ok j ->
+          (match (Json.mem_str "subsystem" j, Json.mem_str "name" j) with
+          | Ok s, Ok n ->
+              if s <> subsystem || n <> name then
+                QCheck.Test.fail_reportf "span strings did not round-trip"
+          | _ -> QCheck.Test.fail_reportf "span line lost its strings")
+      | Error e -> QCheck.Test.fail_reportf "span line unparseable: %s" e);
+      let trace = Obs.chrome_trace ~dropped:[ (name, 1) ] [ (name, spans) ] in
+      match Json.of_string trace with
+      | Ok (Json.List _) -> true
+      | Ok _ -> QCheck.Test.fail_reportf "trace is not a JSON array"
+      | Error e -> QCheck.Test.fail_reportf "trace unparseable: %s" e)
+
 (* --- campaign determinism ---------------------------------------------- *)
 
 let observed_campaign jobs =
@@ -261,6 +341,8 @@ let suites =
         Alcotest.test_case "span records" `Quick test_span_records;
         Alcotest.test_case "ambient no-op" `Quick test_ambient_noop;
         Alcotest.test_case "exporter shapes" `Quick test_exporters_shape;
+        Alcotest.test_case "dropped-span meta records" `Quick test_dropped_meta;
+        qtest prop_exporters_escape;
         Alcotest.test_case "campaign metrics j-independent" `Slow
           test_campaign_metrics_j_independent;
         Alcotest.test_case "klog simulated time" `Quick test_klog_simulated_time;

@@ -221,12 +221,92 @@ let gen_thresholds =
           })
       (small_list (triple gen_string (int_bound 5) (int_bound 1000))))
 
+let gen_forensics =
+  QCheck.Gen.(
+    map
+      (fun ((fs, seed, states), (chains, log)) ->
+        Report.Forensics
+          {
+            Report.fo_fs = fs;
+            fo_seed = seed;
+            fo_max_states = states;
+            fo_chains =
+              List.map
+                (fun ((st, k, d), (probes, summary, culprits)) ->
+                  {
+                    Report.fh_state = st;
+                    fh_kind = k;
+                    fh_detail = d;
+                    fh_probes = probes;
+                    fh_summary = summary;
+                    fh_culprits =
+                      List.map
+                        (fun ((b, lbl, role), (txn, pol, n)) ->
+                          {
+                            Report.fc_block = b;
+                            fc_label = lbl;
+                            fc_role = role;
+                            fc_txn = txn;
+                            fc_policy = pol;
+                            fc_epoch = n mod 7;
+                            fc_op = (n mod 13) - 1;
+                            fc_op_label = lbl;
+                            fc_rule = (if n mod 2 = 0 then "" else pol);
+                            fc_first_seq = n;
+                            fc_dropped = 1 + (n mod 4);
+                            fc_torn = n mod 3 = 0;
+                          })
+                        culprits;
+                  })
+                chains;
+            fo_log =
+              List.mapi
+                (fun i ((lbl, role), (blk, txn)) ->
+                  {
+                    Report.fl_seq = i;
+                    fl_block = blk;
+                    fl_epoch = i mod 5;
+                    fl_label = lbl;
+                    fl_txn = txn;
+                    fl_policy = (if txn >= 0 then "ordered" else "");
+                    fl_role = role;
+                    fl_op = i mod 9;
+                    fl_op_label = lbl;
+                    fl_rule = "";
+                  })
+                log;
+          })
+      (pair
+         (triple gen_string (int_bound 1000000) (int_bound 5000))
+         (pair
+            (small_list
+               (pair (triple gen_string gen_string gen_string)
+                  (triple (int_bound 512) gen_string
+                     (small_list
+                        (pair
+                           (triple (int_bound 2048) gen_string gen_string)
+                           (triple (int_range (-1) 50) gen_string
+                              (int_bound 100)))))))
+            (small_list
+               (pair (pair gen_string gen_string)
+                  (pair (int_bound 2048) (int_range (-1) 40)))))))
+
+let gen_metrics =
+  QCheck.Gen.(
+    map
+      (fun ((name, seed), metrics) ->
+        Report.Metrics
+          { Report.m_name = name; m_seed = seed; m_metrics = metrics })
+      (pair (pair gen_string (int_bound 1000000)) gen_counters))
+
 let gen_artifact =
   QCheck.Gen.(
-    int_bound 3 >>= function
+    int_bound 5 >>= function
     | 0 -> gen_fingerprint
     | 1 -> gen_crash
     | 2 -> gen_bench
+    | 3 -> gen_forensics
+    | 4 -> gen_metrics
     | _ -> gen_thresholds)
 
 let arb_artifact =
@@ -359,6 +439,106 @@ let test_crash_diff_exact () =
   | [ item ] ->
       check Alcotest.string "count named" "crash/ext3/counts/data-loss"
         item.Report.path
+  | items -> Alcotest.failf "expected 1 item, got %d" (List.length items)
+
+let sample_forensics =
+  Report.Forensics
+    {
+      Report.fo_fs = "ext3";
+      fo_seed = 7;
+      fo_max_states = 10;
+      fo_chains =
+        [
+          {
+            Report.fh_state = "all/rand3";
+            fh_kind = "data-loss";
+            fh_detail = "/durable1: open ENOENT";
+            fh_probes = 4;
+            fh_summary = "commit record of txn 5 persisted without its payload (epoch 0)";
+            fh_culprits =
+              [
+                {
+                  Report.fc_block = 6;
+                  fc_label = "j-data";
+                  fc_role = "payload";
+                  fc_txn = 5;
+                  fc_policy = "ordered";
+                  fc_epoch = 0;
+                  fc_op = 2;
+                  fc_op_label = "fsync /racing0";
+                  fc_rule = "";
+                  fc_first_seq = 5;
+                  fc_dropped = 1;
+                  fc_torn = false;
+                };
+              ];
+          };
+        ];
+      fo_log =
+        [
+          {
+            Report.fl_seq = 0;
+            fl_block = 144;
+            fl_epoch = 0;
+            fl_label = "?";
+            fl_txn = 5;
+            fl_policy = "ordered";
+            fl_role = "data";
+            fl_op = 1;
+            fl_op_label = "write /racing0";
+            fl_rule = "";
+          };
+        ];
+    }
+
+let test_forensics_diff_exact () =
+  let g = sample_forensics in
+  check Alcotest.int "identical forensics reports diff empty" 0
+    (List.length (diff_ok g g));
+  let mutate f =
+    match sample_forensics with
+    | Report.Forensics fo ->
+        Report.Forensics { fo with Report.fo_chains = List.map f fo.fo_chains }
+    | _ -> assert false
+  in
+  (match
+     diff_ok g
+       (mutate (fun c -> { c with Report.fh_summary = "something else" }))
+   with
+  | [ item ] ->
+      check Alcotest.string "summary drift named"
+        "forensics/ext3/chains[0]/summary" item.Report.path
+  | items -> Alcotest.failf "expected 1 item, got %d" (List.length items));
+  match
+    diff_ok g
+      (mutate (fun c ->
+           {
+             c with
+             Report.fh_culprits =
+               List.map
+                 (fun cu -> { cu with Report.fc_txn = 6 })
+                 c.Report.fh_culprits;
+           }))
+  with
+  | [ item ] ->
+      check Alcotest.string "culprit drift named"
+        "forensics/ext3/chains[0]/culprits" item.Report.path;
+      check Alcotest.bool "culprit rendering shows the txn" true
+        (contains ~sub:"txn 6" item.Report.fresh)
+  | items -> Alcotest.failf "expected 1 item, got %d" (List.length items)
+
+let test_metrics_diff_exact () =
+  let m counters =
+    Report.Metrics
+      { Report.m_name = "ext3"; m_seed = 7; m_metrics = counters }
+  in
+  let g = m [ ("disk.read", 100); ("jrnl.commit", 8) ] in
+  check Alcotest.int "identical metric sets diff empty" 0
+    (List.length (diff_ok g g));
+  match diff_ok g (m [ ("disk.read", 100); ("jrnl.commit", 9) ]) with
+  | [ item ] ->
+      check Alcotest.string "metric drift named (exact, no tolerance)"
+        "metrics/ext3/jrnl.commit" item.Report.path
   | items -> Alcotest.failf "expected 1 item, got %d" (List.length items)
 
 let bench metrics =
@@ -529,6 +709,10 @@ let suites =
           test_matrix_diff_applicability;
         Alcotest.test_case "crash counts compare exactly" `Quick
           test_crash_diff_exact;
+        Alcotest.test_case "forensics chains compare exactly" `Quick
+          test_forensics_diff_exact;
+        Alcotest.test_case "metric sets compare exactly" `Quick
+          test_metrics_diff_exact;
         Alcotest.test_case "timing metrics use tolerance" `Quick
           test_bench_diff_tolerance;
         Alcotest.test_case "threshold rules" `Quick test_thresholds;
