@@ -21,6 +21,14 @@
 
    Options:
      -j N          worker domains for campaign/variant fan-out
+     --repeat K    run each experiment K times (default 3) and keep the
+                   median-wall-clock run's record. The per-experiment
+                   memo caches are dropped before every run, so each
+                   repeat times the full computation; the median throws
+                   away the cold-start outlier that a single timed run
+                   is hostage to. Every record also stashes its own
+                   wall clock as a [bench.<experiment>.wall_ms] counter
+                   so --check thresholds can gate throughput.
      --json FILE   write the run as a versioned golden-schema bench
                    artifact (Iron_report.Report, kind "bench"): one
                    record per experiment with {experiment, wall_ms,
@@ -645,6 +653,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_file = ref None in
   let check_file = ref None in
+  let repeat = ref 3 in
   let rec parse names = function
     | [] -> List.rev names
     | ("-j" | "--jobs") :: n :: rest ->
@@ -654,13 +663,20 @@ let () =
             Printf.eprintf "-j expects a positive integer, got %s\n" n;
             exit 2);
         parse names rest
+    | "--repeat" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> repeat := k
+        | Some _ | None ->
+            Printf.eprintf "--repeat expects a positive integer, got %s\n" n;
+            exit 2);
+        parse names rest
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse names rest
     | "--check" :: file :: rest ->
         check_file := Some file;
         parse names rest
-    | ("-j" | "--jobs" | "--json" | "--check") :: [] ->
+    | ("-j" | "--jobs" | "--repeat" | "--json" | "--check") :: [] ->
         Printf.eprintf "missing argument\n";
         exit 2
     | n :: rest -> parse (n :: names) rest
@@ -683,17 +699,44 @@ let () =
   let records =
     List.map
       (fun (name, f) ->
-        jobs_executed := 0;
-        collected_metrics := [];
-        let t0 = Unix.gettimeofday () in
-        f ();
-        let wall_s = Unix.gettimeofday () -. t0 in
+        let one () =
+          (* Drop the cross-experiment fingerprint memo so every repeat
+             times the full computation, not a cache hit. *)
+          Hashtbl.reset reports;
+          jobs_executed := 0;
+          collected_metrics := [];
+          let t0 = Unix.gettimeofday () in
+          f ();
+          let wall_s = Unix.gettimeofday () -. t0 in
+          {
+            experiment = name;
+            wall_s;
+            jobs = !jobs_executed;
+            rec_workers = !workers;
+            metrics = !collected_metrics;
+          }
+        in
+        let runs =
+          List.init !repeat (fun i ->
+              let r = one () in
+              if !repeat > 1 then
+                Printf.eprintf "  [%s] repeat %d/%d: %.0f ms\n%!" name (i + 1)
+                  !repeat (r.wall_s *. 1000.);
+              r)
+        in
+        let sorted =
+          List.sort (fun a b -> compare a.wall_s b.wall_s) runs
+        in
+        let median = List.nth sorted ((List.length sorted - 1) / 2) in
         {
-          experiment = name;
-          wall_s;
-          jobs = !jobs_executed;
-          rec_workers = !workers;
-          metrics = !collected_metrics;
+          median with
+          metrics =
+            median.metrics
+            @ [
+                ( Printf.sprintf "bench.%s.wall_ms" name,
+                  Iron_obs.Obs.Counter (int_of_float (median.wall_s *. 1000.))
+                );
+              ];
         })
       chosen
   in

@@ -1,3 +1,5 @@
+module Arena = Iron_util.Arena
+
 type t = {
   device : Dev.t;
   capacity : int;
@@ -12,33 +14,50 @@ let create ?(capacity = 256) device =
 
 let dev t = t.device
 
+(* Cache-owned buffers are drawn from (and returned to) the calling
+   domain's block arena. This is sound because the internal buffers
+   never escape: [read] hands out copies, [read_into] blits, and the
+   only adopted buffers are [fill]'s fresh ones and [insert]'s private
+   copies. Looked up per call rather than stored so a cache created on
+   one domain but used on another (never happens today) stays safe. *)
+let arena t = Arena.block t.device.Dev.block_size
+
 let evict_if_full t =
   while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
     let victim = Queue.pop t.order in
+    (match Hashtbl.find_opt t.table victim with
+    | Some old -> Arena.put (arena t) old
+    | None -> ());
     Hashtbl.remove t.table victim
   done
 
 (* [insert] copies the caller's buffer; [insert_own] adopts it (the
    zero-copy fill path — the caller must not reuse the buffer). *)
 let insert_own t b data =
-  if not (Hashtbl.mem t.table b) then begin
-    evict_if_full t;
-    Queue.push b t.order
-  end;
+  (match Hashtbl.find_opt t.table b with
+  | Some old ->
+      (* Replacing in place: recycle the displaced buffer (guarding
+         against a caller re-adopting the cached buffer itself). *)
+      if old != data then Arena.put (arena t) old
+  | None ->
+      evict_if_full t;
+      Queue.push b t.order);
   Hashtbl.replace t.table b data
 
-let insert t b data = insert_own t b (Bytes.copy data)
+let insert t b data = insert_own t b (Arena.copy (arena t) data)
 
 (* Miss path: fill a fresh cache-owned buffer via the device's
    zero-copy read and adopt it — one allocation instead of the two the
    read-then-copy discipline used to cost. *)
 let fill t b =
-  let buf = Bytes.create t.device.Dev.block_size in
+  let buf = Arena.get (arena t) in
   match t.device.Dev.read_into b buf with
   | Ok () ->
       insert_own t b buf;
       Ok buf
-  | Error _ as e -> e
+  | Error _ as e ->
+      Arena.put (arena t) buf;
+      e
 
 let read t b =
   match Hashtbl.find_opt t.table b with
@@ -70,9 +89,17 @@ let write t b data =
   t.device.Dev.write b data
 
 let sync t = t.device.Dev.sync ()
-let invalidate t b = Hashtbl.remove t.table b
+
+let invalidate t b =
+  match Hashtbl.find_opt t.table b with
+  | Some old ->
+      Arena.put (arena t) old;
+      Hashtbl.remove t.table b
+  | None -> ()
 
 let invalidate_all t =
+  let a = arena t in
+  Hashtbl.iter (fun _ old -> Arena.put a old) t.table;
   Hashtbl.reset t.table;
   Queue.clear t.order
 

@@ -48,17 +48,18 @@ let image_block_size img = img.i_block_size
 let image_num_blocks img = Array.length img.i_blocks
 let image_block img b = img.i_blocks.(b)
 
-(* Overlay slots hold [nil] when clean; physical equality is the
-   emptiness test, so reads never allocate an option. *)
-let nil = Bytes.create 0
+(* Dirty blocks live off-heap in a [Bigstore] slab private to this
+   device; [overlay.(b)] is the block's slot handle, or [clean] (-1).
+   The slab's own free-list recycles slots dropped by [restore]. *)
+let clean = -1
 
 type t = {
   model : Model.t;
   mutable base : image;
-  overlay : bytes array; (* slot per block; == nil when clean *)
+  slab : Bigstore.t;
+  overlay : int array; (* slot per block; [clean] when untouched *)
   mutable dirty : int array; (* the dirty block numbers, unordered *)
   mutable ndirty : int;
-  mutable free : bytes list; (* recycled overlay buffers *)
 }
 
 let create ?(params = Model.default_params) () =
@@ -66,10 +67,10 @@ let create ?(params = Model.default_params) () =
     model = Model.create params;
     base = blank_image ~block_size:params.Model.block_size
         ~num_blocks:params.Model.num_blocks;
-    overlay = Array.make params.Model.num_blocks nil;
+    slab = Bigstore.create ~slot_size:params.Model.block_size ();
+    overlay = Array.make params.Model.num_blocks clean;
     dirty = Array.make 64 0;
     ndirty = 0;
-    free = [];
   }
 
 let block_size t = t.base.i_block_size
@@ -86,27 +87,30 @@ let note_dirty t b =
   t.dirty.(t.ndirty) <- b;
   t.ndirty <- t.ndirty + 1
 
-(* The current bytes of block [b]: the private overlay copy if there
-   is one, else the (frozen — do not mutate!) base block. *)
-let current t b =
-  let o = t.overlay.(b) in
-  if o != nil then o else t.base.i_blocks.(b)
+(* Read block [b] into [buf]: the private overlay slot if there is
+   one, else the (frozen) base block. *)
+let current_into t b buf =
+  let s = t.overlay.(b) in
+  if s <> clean then Bigstore.read_into t.slab s buf
+  else Bytes.blit t.base.i_blocks.(b) 0 buf 0 (block_size t)
 
-(* A writable overlay slot for block [b], recycling restored buffers. *)
-let own_slot t b =
-  let o = t.overlay.(b) in
-  if o != nil then o
+let current_copy t b =
+  let s = t.overlay.(b) in
+  if s <> clean then Bigstore.copy_out t.slab s
+  else Bytes.copy t.base.i_blocks.(b)
+
+(* A writable overlay slot for block [b]. [~init] seeds a fresh slot
+   from the base block — required for partial writes ([poke]), skipped
+   when the caller is about to overwrite the whole slot. *)
+let own_slot t b ~init =
+  let s = t.overlay.(b) in
+  if s <> clean then s
   else begin
-    let buf =
-      match t.free with
-      | buf :: rest ->
-          t.free <- rest;
-          buf
-      | [] -> Bytes.create (block_size t)
-    in
-    t.overlay.(b) <- buf;
+    let s = Bigstore.alloc t.slab in
+    if init then Bigstore.write t.slab s t.base.i_blocks.(b);
+    t.overlay.(b) <- s;
     note_dirty t b;
-    buf
+    s
   end
 
 let in_range t b = b >= 0 && b < num_blocks t
@@ -115,7 +119,7 @@ let read t b =
   if not (in_range t b) then Error Dev.Enxio
   else begin
     Model.charge_read t.model b;
-    Ok (Bytes.copy (current t b))
+    Ok (current_copy t b)
   end
 
 let read_into t b buf =
@@ -123,7 +127,7 @@ let read_into t b buf =
   else if Bytes.length buf <> block_size t then Error Dev.Eio
   else begin
     Model.charge_read t.model b;
-    Bytes.blit (current t b) 0 buf 0 (block_size t);
+    current_into t b buf;
     Ok ()
   end
 
@@ -132,7 +136,7 @@ let write t b data =
   else if Bytes.length data <> block_size t then Error Dev.Eio
   else begin
     Model.charge_write t.model b;
-    Bytes.blit data 0 (own_slot t b) 0 (block_size t);
+    Bigstore.write t.slab (own_slot t b ~init:false) data;
     Ok ()
   end
 
@@ -157,26 +161,30 @@ let set_time_model t on = Model.set_timed t.model on
 
 (* Raw access, bypassing the timing model and statistics (setup,
    verification, classifiers). *)
-let peek t b = Bytes.copy (current t b)
+let peek t b = current_copy t b
 
 let poke t b data =
-  let slot = own_slot t b in
-  Bytes.blit data 0 slot 0 (min (Bytes.length data) (block_size t))
+  let slot = own_slot t b ~init:true in
+  Bigstore.write_sub t.slab slot data
+    (min (Bytes.length data) (block_size t))
 
 (* Freeze the current state into an image. Clean blocks share the old
-   base's buffers; dirty overlay buffers are adopted wholesale (they
-   become frozen, so they are *not* recycled). The device itself moves
-   onto the new image with an empty overlay, which is what makes the
-   snapshot immutable from here on. With no dirty blocks this is O(1):
-   the base is returned as-is. *)
+   base's buffers; dirty slots are copied out to frozen heap blocks
+   and released back to the slab (images are plain [bytes] so they can
+   be shared across devices and domains without slab lifetimes). The
+   device itself moves onto the new image with an empty overlay, which
+   is what makes the snapshot immutable from here on. With no dirty
+   blocks this is O(1): the base is returned as-is. *)
 let snapshot t =
   if t.ndirty = 0 then t.base
   else begin
     let blocks = Array.copy t.base.i_blocks in
     for i = 0 to t.ndirty - 1 do
       let b = t.dirty.(i) in
-      blocks.(b) <- t.overlay.(b);
-      t.overlay.(b) <- nil
+      let s = t.overlay.(b) in
+      blocks.(b) <- Bigstore.copy_out t.slab s;
+      Bigstore.free t.slab s;
+      t.overlay.(b) <- clean
     done;
     t.ndirty <- 0;
     let img = { i_block_size = t.base.i_block_size; i_blocks = blocks } in
@@ -184,17 +192,22 @@ let snapshot t =
     img
   end
 
-(* Point the device at [img]: drop the overlay (recycling its buffers
-   for the next run's writes) and reset the model, so every run starts
-   from identical conditions. O(dirty). *)
+(* Point the device at [img]: drop the overlay (its slots return to
+   the slab's free-list for the next run's writes) and reset the
+   model, so every run starts from identical conditions. O(dirty). *)
 let restore t img =
   if image_num_blocks img <> num_blocks t || img.i_block_size <> block_size t
   then invalid_arg "Cow.restore: image geometry mismatch";
+  (* Already clean and on this image (the executor restores
+     speculatively at job end): just reset the clock. *)
+  if t.ndirty = 0 && t.base == img then Model.reset t.model
+  else begin
   for i = 0 to t.ndirty - 1 do
     let b = t.dirty.(i) in
-    t.free <- t.overlay.(b) :: t.free;
-    t.overlay.(b) <- nil
+    Bigstore.free t.slab t.overlay.(b);
+    t.overlay.(b) <- clean
   done;
   t.ndirty <- 0;
   t.base <- img;
   Model.reset t.model
+  end

@@ -26,24 +26,30 @@ type stats = Model.stats = {
 
 type snapshot = Cow.image
 
+(* The block payloads live off-heap in a [Bigstore] slab, one slot per
+   block; block [b] is always slot [b] (slots are allocated in order at
+   creation and never freed). *)
 type t = {
   params : params;
   model : Model.t;
-  store : bytes array;
+  store : Bigstore.t;
 }
 
 let create ?(params = default_params) () =
-  {
-    params;
-    model = Model.create params;
-    store = Array.init params.num_blocks (fun _ -> Bytes.make params.block_size '\000');
-  }
+  let store =
+    Bigstore.create ~chunk_slots:(max 1 params.num_blocks)
+      ~slot_size:params.block_size ()
+  in
+  for _ = 1 to params.num_blocks do
+    ignore (Bigstore.alloc_zeroed store)
+  done;
+  { params; model = Model.create params; store }
 
 let read t b =
   if b < 0 || b >= t.params.num_blocks then Error Dev.Enxio
   else begin
     Model.charge_read t.model b;
-    Ok (Bytes.copy t.store.(b))
+    Ok (Bigstore.copy_out t.store b)
   end
 
 let read_into t b buf =
@@ -51,7 +57,7 @@ let read_into t b buf =
   else if Bytes.length buf <> t.params.block_size then Error Dev.Eio
   else begin
     Model.charge_read t.model b;
-    Bytes.blit t.store.(b) 0 buf 0 t.params.block_size;
+    Bigstore.read_into t.store b buf;
     Ok ()
   end
 
@@ -60,7 +66,7 @@ let write t b data =
   else if Bytes.length data <> t.params.block_size then Error Dev.Eio
   else begin
     Model.charge_write t.model b;
-    Bytes.blit data 0 t.store.(b) 0 t.params.block_size;
+    Bigstore.write t.store b data;
     Ok ()
   end
 
@@ -82,13 +88,15 @@ let dev t =
 let stats t = Model.stats t.model
 let reset_stats t = Model.reset_stats t.model
 let set_time_model t on = Model.set_timed t.model on
-let peek t b = Bytes.copy t.store.(b)
+let peek t b = Bigstore.copy_out t.store b
 
 let poke t b data =
-  Bytes.blit data 0 t.store.(b) 0 (min (Bytes.length data) t.params.block_size)
+  Bigstore.write_sub t.store b data
+    (min (Bytes.length data) t.params.block_size)
 
 let snapshot t =
-  Cow.make_image ~block_size:t.params.block_size (Array.map Bytes.copy t.store)
+  Cow.make_image ~block_size:t.params.block_size
+    (Array.init t.params.num_blocks (Bigstore.copy_out t.store))
 
 (* Full blit. The fingerprinting hot path no longer restores flat
    disks (it runs on Cow overlays, where restore is O(dirty)); what is
@@ -98,7 +106,7 @@ let restore t s =
   if Cow.image_num_blocks s <> t.params.num_blocks
      || Cow.image_block_size s <> t.params.block_size
   then invalid_arg "Memdisk.restore: image geometry mismatch";
-  Array.iteri
-    (fun i dst -> Bytes.blit (Cow.image_block s i) 0 dst 0 (Bytes.length dst))
-    t.store;
+  for b = 0 to t.params.num_blocks - 1 do
+    Bigstore.write t.store b (Cow.image_block s b)
+  done;
   Model.reset t.model

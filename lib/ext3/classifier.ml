@@ -16,27 +16,44 @@ let dynamic_labels raw lay =
     | None -> false
   in
   let mark b l = if in_data_region b then Hashtbl.replace labels b l in
-  let ptrs_of b =
-    try
-      let blk = raw b in
-      List.init lay.Layout.ptrs_per_block (fun i -> Codec.read_u32 blk (i * 4))
-      |> List.filter (fun p -> p > 0 && p < lay.Layout.num_blocks)
-    with _ -> []
+  let iter_ptrs b f =
+    match (try Some (raw b) with _ -> None) with
+    | None -> ()
+    | Some blk ->
+        for i = 0 to lay.Layout.ptrs_per_block - 1 do
+          let p = Codec.read_u32 blk (i * 4) in
+          if p > 0 && p < lay.Layout.num_blocks then f p
+        done
   in
   let walk_indirect depth b =
     (* depth 1: children are data; 2: children are indirect of depth 1; … *)
     let rec go depth b =
       mark b "indirect";
-      if depth > 1 then List.iter (go (depth - 1)) (ptrs_of b)
-      else List.iter (fun p -> mark p "leaf") (ptrs_of b)
+      if depth > 1 then iter_ptrs b (go (depth - 1))
+      else iter_ptrs b (fun p -> mark p "leaf")
     in
     go depth b
+  in
+  (* Consecutive inode numbers share an itable block: memoize the last
+     block read so the walk costs one [raw] per itable block, not one
+     per inode. *)
+  let last_blk = ref (-1) in
+  let last_buf = ref None in
+  let itable_block blk =
+    if blk = !last_blk then !last_buf
+    else begin
+      let r = try Some (raw blk) with _ -> None in
+      last_blk := blk;
+      last_buf := r;
+      r
+    end
   in
   let leaf_label = ref "data" in
   let classify_inode ino =
     let blk, off = Layout.inode_location lay ino in
-    match (try Some (raw blk) with _ -> None) with
+    match itable_block blk with
     | None -> ()
+    | Some buf when Bytes.get buf off = '\000' -> () (* free: skip decode *)
     | Some buf ->
         let i = Inode.decode lay buf off in
         (match i.Inode.kind with
@@ -50,7 +67,7 @@ let dynamic_labels raw lay =
             Array.iter (fun p -> if p > 0 then mark p lbl) i.Inode.direct;
             if i.Inode.ind > 0 then begin
               mark i.Inode.ind "indirect";
-              List.iter (fun p -> mark p lbl) (ptrs_of i.Inode.ind)
+              iter_ptrs i.Inode.ind (fun p -> mark p lbl)
             end;
             if i.Inode.dind > 0 then walk_indirect 2 i.Inode.dind;
             if i.Inode.tind > 0 then walk_indirect 3 i.Inode.tind;

@@ -1233,10 +1233,10 @@ let mount_impl profile dev =
     let (module P : Jrnl.POLICY) = policy_of_profile profile in
     let module J = Jrnl.Make (P) in
     let jrnl =
-      J.create ~dev ~cache ~klog ~kinds:(kind_of_block lay)
-        ~geo:(geo_of_layout lay)
+      J.create ~tuning:profile.Profile.tuning ~dev ~cache ~klog
+        ~kinds:(kind_of_block lay) ~geo:(geo_of_layout lay)
         ~journaled:(fun b -> b < lay.Layout.replica_start)
-        ~seq:jseq
+        ~seq:jseq ()
     in
     let t =
       {

@@ -53,12 +53,29 @@ let run ?(repair = false) dev =
         findings := { severity; message; repaired } :: !findings)
       fmt
   in
+  (* Memoize successful reads: pass 1 touches the same inode-table and
+     indirect blocks once per inode, and pass 4 re-reads the table blocks
+     again. Caching is sound here because fsck runs on a quiesced device
+     (nobody writes behind its back) and repairs mutate the cached buffer
+     itself before writing it out, so cache and device stay coherent.
+     Failed reads are NOT cached so transient-error semantics are kept. *)
+  let cache = Hashtbl.create 64 in
   let read b =
-    match dev.Dev.read b with Ok d -> Some d | Error _ -> None
+    match Hashtbl.find_opt cache b with
+    | Some d -> Some d
+    | None -> (
+        match dev.Dev.read b with
+        | Ok d ->
+            Hashtbl.add cache b d;
+            Some d
+        | Error _ -> None)
   in
   (* Pass 1: walk every live inode, collecting reachable blocks and the
      directory graph. *)
   let reachable = Hashtbl.create 256 in
+  (* Dense mirror of [reachable]'s domain: pass 3 probes every data block
+     once, and a bit test beats a hash probe there. *)
+  let reach_bits = Bytes.make ((lay.Layout.num_blocks / 8) + 1) '\000' in
   let dir_refs = Hashtbl.create 64 in (* ino -> #entries pointing at it *)
   let live = Hashtbl.create 64 in (* ino -> inode *)
   let ref_ino ino =
@@ -71,15 +88,18 @@ let run ?(repair = false) dev =
       | Some prior ->
           note `Error false "block %d claimed by both %s and %s" b prior what
       | None -> ());
-      Hashtbl.replace reachable b what
+      Hashtbl.replace reachable b what;
+      bit_set reach_bits b true
     end
     else if b <> 0 then note `Error false "%s points at impossible block %d" what b
   in
-  let ptrs_of b =
+  let iter_ptrs b f =
     match read b with
-    | None -> []
+    | None -> ()
     | Some blk ->
-        List.init lay.Layout.ptrs_per_block (fun i -> Codec.read_u32 blk (i * 4))
+        for i = 0 to lay.Layout.ptrs_per_block - 1 do
+          f (Codec.read_u32 blk (i * 4))
+        done
   in
   let max_blocks = Inode.max_file_blocks lay in
   for ino = 1 to Layout.total_inodes lay do
@@ -99,17 +119,15 @@ let run ?(repair = false) dev =
             Array.iter (fun p -> if p > 0 then claim p what) i.Inode.direct;
             if i.Inode.ind > 0 then begin
               claim i.Inode.ind what;
-              List.iter (fun p -> if p > 0 then claim p what) (ptrs_of i.Inode.ind)
+              iter_ptrs i.Inode.ind (fun p -> if p > 0 then claim p what)
             end;
             if i.Inode.dind > 0 then begin
               claim i.Inode.dind what;
-              List.iter
-                (fun l1 ->
+              iter_ptrs i.Inode.dind (fun l1 ->
                   if l1 > 0 && l1 < lay.Layout.num_blocks then begin
                     claim l1 what;
-                    List.iter (fun p -> if p > 0 then claim p what) (ptrs_of l1)
+                    iter_ptrs l1 (fun p -> if p > 0 then claim p what)
                   end)
-                (ptrs_of i.Inode.dind)
             end;
             if i.Inode.parity > 0 then claim i.Inode.parity what)
   done;
@@ -160,7 +178,7 @@ let run ?(repair = false) dev =
         for i = 0 to Layout.data_blocks_per_group lay - 1 do
           let b = Layout.data_start lay g + i in
           let marked = bit_get buf i in
-          let used = Hashtbl.mem reachable b in
+          let used = bit_get reach_bits b in
           if marked && not used then begin
             note `Warning repair "block %d marked allocated but unreachable (leak)" b;
             if repair then begin

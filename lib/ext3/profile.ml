@@ -8,6 +8,10 @@ type t = {
   sanity_check_linkcount : bool;
   dir_read_retries : int;
   mode : Jrnl.mode;
+  tuning : Jrnl.tuning;
+      (** group-commit window and checkpoint watermark handed to the
+          journal engine at mount; {!Jrnl.default_tuning} reproduces the
+          historical I/O stream byte for byte *)
   meta_checksum : bool;
   data_checksum : bool;
   meta_replica : bool;
@@ -24,6 +28,7 @@ let ext3 =
     sanity_check_linkcount = false;
     dir_read_retries = 1;
     mode = Jrnl.Ordered;
+    tuning = Jrnl.default_tuning;
     meta_checksum = false;
     data_checksum = false;
     meta_replica = false;
@@ -41,6 +46,7 @@ let ixt3_with ?(mc = false) ?(mr = false) ?(dc = false) ?(dp = false)
     sanity_check_linkcount = true;
     dir_read_retries = 1;
     mode = (if tc then Jrnl.Tc_checksummed else Jrnl.Ordered);
+    tuning = Jrnl.default_tuning;
     meta_checksum = mc;
     data_checksum = dc;
     meta_replica = mr;

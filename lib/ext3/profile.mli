@@ -30,6 +30,12 @@ type t = {
       (** Commit policy: [Writeback], [Ordered] (the ext3 default),
           [Data_journal], or [Tc_checksummed] (ordered + the ixt3
           transactional checksum, §6.1). *)
+  tuning : Iron_jrnl.Jrnl.tuning;
+      (** Group-commit window and checkpoint watermark handed to the
+          journal engine at mount. {!Iron_jrnl.Jrnl.default_tuning}
+          (every stock profile) reproduces the historical I/O stream
+          byte for byte; variants built with [{ p with tuning }] get
+          eager window flushes / batched checkpoint write-back. *)
   (* --- IRON features (§6.1) *)
   meta_checksum : bool;  (** Mc *)
   data_checksum : bool;  (** Dc *)

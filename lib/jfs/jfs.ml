@@ -750,7 +750,7 @@ let mkfs_impl dev =
 let recover_journal dev klog =
   Record.recover ~tag:"jfs" ~geo:(jgeo dev.Dev.num_blocks) ~dev ~klog ()
 
-let mount_impl dev =
+let mount_impl ?(tuning = Jrnl.default_tuning) dev =
   let klog = Klog.create ~clock:dev.Dev.now () in
   (* Every mount-time read here is decode-then-discard, so one scratch
      block covers them all. *)
@@ -827,9 +827,9 @@ let mount_impl dev =
       cache;
       num_blocks;
       jrnl =
-        Record.create ~tag:"jfs" ~dev ~cache ~klog
+        Record.create ~tuning ~tag:"jfs" ~dev ~cache ~klog
           ~kinds:(kind_of_block num_blocks)
-          ~geo:(jgeo dev.Dev.num_blocks) ~txid;
+          ~geo:(jgeo dev.Dev.num_blocks) ~txid ();
       free_blocks;
       free_inodes;
       fds = Fdtable.create ();
@@ -997,10 +997,23 @@ let classify raw =
     let mark b l = if b >= first_data && b < num_blocks then Hashtbl.replace labels b l in
     let xtree_of b = Option.bind (raw' b) decode_xtree in
     let per = 4096 / inode_size in
+    (* Consecutive inodes share an itable block: read each block once. *)
+    let last_blk = ref (-1) in
+    let last_buf = ref None in
+    let itable_buf blk =
+      if blk = !last_blk then !last_buf
+      else begin
+        let r = raw' blk in
+        last_blk := blk;
+        last_buf := r;
+        r
+      end
+    in
     for ino = 1 to itable_blocks * per do
       let blk, off = inode_location ino in
-      match raw' blk with
+      match itable_buf blk with
       | None -> ()
+      | Some buf when Bytes.get buf off = '\000' -> () (* free: skip decode *)
       | Some buf -> (
           let i = decode_inode buf off in
           match i.kind with
@@ -1071,7 +1084,7 @@ let corrupt_field ty =
 
 (* ---- brand ----------------------------------------------------------- *)
 
-let brand =
+let brand_with ~tuning =
   let module M = struct
     let fs_name = "jfs"
     let block_types = block_types
@@ -1081,7 +1094,7 @@ let brand =
     type t = state
 
     let mkfs = mkfs_impl
-    let mount = mount_impl
+    let mount dev = mount_impl ~tuning dev
 
     let unmount t =
       let* () = commit t in
@@ -1348,3 +1361,5 @@ let brand =
       Ok ()
   end in
   Fs.Brand (module M)
+
+let brand = brand_with ~tuning:Jrnl.default_tuning

@@ -34,6 +34,33 @@ type iron = {
 
 let stock_iron = { abort_on_journal_write_failure = false; check_write_errors = false }
 
+(* Raw-speed tunables (ROADMAP item 5): how eagerly transactions close
+   and how lazily committed blocks are written home. The defaults
+   reproduce the historical I/O stream byte for byte — group commit
+   merely names what the barrier already did (coalesce every stage
+   since the last fsync into one burst), and a zero watermark keeps
+   checkpoints at their barrier/log-full sites. Turning [group_commit]
+   off makes the engine close a window eagerly every [window_blocks]
+   staged blocks (more, smaller bursts — the paper's Table 6
+   commit-frequency axis), and a positive [checkpoint_watermark] writes
+   the pending batch home as soon as it reaches that many blocks
+   instead of holding it for the next barrier. *)
+type tuning = {
+  group_commit : bool;
+      (** coalesce all transactions staged between durability barriers
+          into one journal write burst (one desc/commit pair) *)
+  window_blocks : int;
+      (** with [group_commit = false]: close and flush the open window
+          once this many blocks are staged ([<= 0] never closes early) *)
+  checkpoint_watermark : int;
+      (** [> 0]: checkpoint as soon as this many committed blocks are
+          pending, without waiting for sync/unmount/log-full; [0] defers
+          write-back to the barriers (the historical stream) *)
+}
+
+let default_tuning =
+  { group_commit = true; window_blocks = 32; checkpoint_watermark = 0 }
+
 module type POLICY = sig
   val tag : string
   (** klog subsystem tag; fingerprint classification greps these
@@ -71,6 +98,7 @@ type config = {
   tag : string;
   mode : mode;
   iron : iron;
+  tuning : tuning;
   dev : Dev.t;
   cache : Bcache.t;
   klog : Klog.t;
@@ -121,7 +149,17 @@ let connect t ~on_abort ~aborted ?jsb_shadow ?post_commit () =
 let abort t why = t.hooks.on_abort why
 let aborted t = t.hooks.aborted ()
 let kind t b = t.cfg.kinds b
-let zero_block t = Bytes.make t.cfg.dev.Dev.block_size '\000'
+
+(* Transaction images and commit scratch blocks cycle through the
+   calling domain's block arena: staged images are released when the
+   checkpoint empties the pending table, scratch (desc/revoke/commit/
+   jsuper) blocks right after the device write copies them out. Sound
+   because [find]'s callers copy what they keep and the hooks
+   ([post_commit], [jsb_shadow]) write through the device, which also
+   copies. *)
+let arena t = Arena.block t.cfg.dev.Dev.block_size
+let zero_block t = Arena.get_zeroed (arena t)
+let release t buf = Arena.put (arena t) buf
 
 (* ------------------------------------------------------------------ *)
 (* Transaction overlay                                                 *)
@@ -132,14 +170,22 @@ let find t b =
   | Some d -> Some d
   | None -> Hashtbl.find_opt t.pending b
 
-let stage t b data =
+(* Stage one block into the open transaction; the group-commit window
+   bookkeeping wraps this below (the eager flush needs [commit]). An
+   overwrite of an already-staged block is a coalesced journal write —
+   the group-commit win the counter makes visible. *)
+let stage_block t b data =
   (* The one invariant the typed layout enforces unconditionally: the
      journal never journals its own region. *)
   if Kind.is_journal_region (t.cfg.kinds b) then
     Klog.error t.cfg.klog t.cfg.tag "refusing to journal journal block %d" b
   else begin
-    if not (Hashtbl.mem t.txn b) then t.txn_order <- b :: t.txn_order;
-    Hashtbl.replace t.txn b (Bytes.copy data)
+    (match Hashtbl.find_opt t.txn b with
+    | Some old ->
+        Obs.incr_a "jrnl.group_commit.coalesced";
+        release t old
+    | None -> t.txn_order <- b :: t.txn_order);
+    Hashtbl.replace t.txn b (Arena.copy (arena t) data)
   end
 
 let revoke t b =
@@ -154,18 +200,20 @@ let revoke t b =
    the block into the transaction like metadata, so the data write can
    no longer fail here at all. Returns [false] only on a device write
    failure in the ordered modes. *)
-let write_data t b data =
+let write_data_raw t b data =
   match t.cfg.mode with
   | Ordered | Tc_checksummed -> (
       Prov.with_txn ~txn:t.jseq ~policy:(mode_label t.cfg.mode) @@ fun () ->
       Prov.with_role "data" @@ fun () ->
       match Bcache.write t.cfg.cache b data with Ok () -> true | Error _ -> false)
   | Writeback ->
-      if not (Hashtbl.mem t.pending b) then t.pending_order <- b :: t.pending_order;
-      Hashtbl.replace t.pending b (Bytes.copy data);
+      (match Hashtbl.find_opt t.pending b with
+      | Some old -> release t old
+      | None -> t.pending_order <- b :: t.pending_order);
+      Hashtbl.replace t.pending b (Arena.copy (arena t) data);
       true
   | Data_journal ->
-      stage t b data;
+      stage_block t b data;
       true
 
 (* ------------------------------------------------------------------ *)
@@ -194,7 +242,9 @@ let write_jsuper t =
   let buf = zero_block t in
   Jrec.encode_jsuper { Jrec.sequence = t.jseq; start = t.jhead } buf;
   (match t.hooks.jsb_shadow with Some f -> f buf | None -> ());
-  match t.cfg.dev.Dev.write t.cfg.geo.jsb buf with
+  let r = t.cfg.dev.Dev.write t.cfg.geo.jsb buf in
+  release t buf;
+  match r with
   | Ok () -> true
   | Error _ ->
       if t.cfg.iron.check_write_errors then begin
@@ -227,6 +277,7 @@ let checkpoint t =
                 abort t "checkpoint write failure"
               end))
     blocks;
+  Hashtbl.iter (fun _ old -> release t old) t.pending;
   Hashtbl.reset t.pending;
   t.pending_order <- [];
   t.jhead <- t.cfg.geo.jfirst;
@@ -262,6 +313,7 @@ let commit t =
               | Some data -> ignore (Bcache.write t.cfg.cache b data)
               | None -> ())
             blocks);
+      Hashtbl.iter (fun _ old -> release t old) t.txn;
       Hashtbl.reset t.txn;
       t.txn_order <- [];
       t.txn_revoked <- [];
@@ -272,6 +324,7 @@ let commit t =
       let buf = zero_block t in
       Jrec.encode_desc { Jrec.seq; tags = blocks } buf;
       let ok = ref (Prov.with_role "desc" (fun () -> journal_write t t.jhead buf)) in
+      release t buf;
       let pos = ref (t.jhead + 1) in
       let cksum_ctx = Sha1.init () in
       List.iter
@@ -289,6 +342,7 @@ let commit t =
         Jrec.encode_revoke { Jrec.rseq = seq; revoked = t.txn_revoked } rbuf;
         if !ok then
           ok := Prov.with_role "revoke" (fun () -> journal_write t !pos rbuf);
+        release t rbuf;
         incr pos
       end;
       (* The ordering point: without transactional checksums the commit
@@ -303,6 +357,7 @@ let commit t =
       Jrec.encode_commit { Jrec.cseq = seq; checksum } cbuf;
       if !ok then
         ok := Prov.with_role "commit" (fun () -> journal_write t !pos cbuf);
+      release t cbuf;
       incr pos;
       ignore (t.cfg.dev.Dev.sync ());
       (* Issued after the commit (the journal is authoritative), so the
@@ -327,17 +382,55 @@ let commit t =
             match Hashtbl.find_opt t.txn b with
             | None -> ()
             | Some data ->
-                if not (Hashtbl.mem t.pending b) then
-                  t.pending_order <- b :: t.pending_order;
+                (match Hashtbl.find_opt t.pending b with
+                | Some old -> release t old
+                | None -> t.pending_order <- b :: t.pending_order);
                 Hashtbl.replace t.pending b data)
           all_blocks;
         Hashtbl.reset t.txn;
         t.txn_order <- [];
         t.txn_revoked <- [];
-        Ok ()
+        (* Batched checkpointing: committed blocks stay pending until a
+           barrier (sync/unmount/log-full) — or, past the watermark,
+           until right now. *)
+        let np = Hashtbl.length t.pending in
+        if np > 0 then begin
+          let wm = t.cfg.tuning.checkpoint_watermark in
+          if wm > 0 && np >= wm then begin
+            Obs.incr_a "jrnl.checkpoint.batched";
+            checkpoint t
+          end
+          else Obs.incr_a "jrnl.checkpoint.batched.deferred"
+        end;
+        if aborted t then Error Errno.EROFS else Ok ()
       end
     end
   end
+
+(* Group-commit window bookkeeping around the staging entry points.
+   With [group_commit] on (the default), staged blocks simply
+   accumulate until the next durability barrier — the barrier commit IS
+   the coalesced burst. With it off, the window soft-closes as soon as
+   [window_blocks] blocks are staged and the engine flushes eagerly. *)
+let maybe_flush_window t =
+  if
+    (not t.cfg.tuning.group_commit)
+    && t.cfg.tuning.window_blocks > 0
+    && Hashtbl.length t.txn >= t.cfg.tuning.window_blocks
+    && not (aborted t)
+  then begin
+    Obs.incr_a "jrnl.group_commit.window_flush";
+    ignore (commit t)
+  end
+
+let stage t b data =
+  stage_block t b data;
+  maybe_flush_window t
+
+let write_data t b data =
+  let ok = write_data_raw t b data in
+  maybe_flush_window t;
+  ok
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -503,9 +596,21 @@ let recover ~tag ~iron ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
 module Make (P : POLICY) = struct
   type nonrec t = t
 
-  let create ~dev ~cache ~klog ~kinds ~geo ~journaled ~seq =
+  let create ?(tuning = default_tuning) ~dev ~cache ~klog ~kinds ~geo ~journaled
+      ~seq () =
     create
-      { tag = P.tag; mode = P.mode; iron = P.iron; dev; cache; klog; kinds; geo; journaled }
+      {
+        tag = P.tag;
+        mode = P.mode;
+        iron = P.iron;
+        tuning;
+        dev;
+        cache;
+        klog;
+        kinds;
+        geo;
+        journaled;
+      }
       ~seq
 
   let recover ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
@@ -645,28 +750,40 @@ module Record = struct
 
   (* Diff-based record emission: this is what makes the journal
      "record-level" — only the changed byte ranges are logged. *)
+  (* First index >= [i] where [old] and [fresh] disagree (or [n]).
+     Equal prefixes skip eight bytes per compare — journaled pages are
+     mostly unchanged, so this is the Record engine's hot loop. *)
+  let first_diff old fresh i n =
+    let i = ref i in
+    while
+      !i + 8 <= n && Bytes.get_int64_ne old !i = Bytes.get_int64_ne fresh !i
+    do
+      i := !i + 8
+    done;
+    while !i < n && Bytes.get old !i = Bytes.get fresh !i do
+      incr i
+    done;
+    !i
+
+  (* Byte-equal to the naive per-byte scan: a range extends while the
+     next differing byte is within 32 equal bytes of the last one. *)
   let diff_ranges old fresh =
     let n = Bytes.length fresh in
     let ranges = ref [] in
-    let i = ref 0 in
+    let i = ref (first_diff old fresh 0 n) in
     while !i < n do
-      if Bytes.get old !i <> Bytes.get fresh !i then begin
-        let start = !i in
-        let last = ref !i in
-        let j = ref (!i + 1) in
-        let gap = ref 0 in
-        while !j < n && !gap < 32 do
-          if Bytes.get old !j <> Bytes.get fresh !j then begin
-            last := !j;
-            gap := 0
-          end
-          else incr gap;
-          incr j
-        done;
-        ranges := (start, !last - start + 1) :: !ranges;
-        i := !last + 1
-      end
-      else incr i
+      let start = !i in
+      let last = ref !i in
+      let scanning = ref true in
+      while !scanning do
+        let d = first_diff old fresh (!last + 1) n in
+        if d < n && d - !last <= 32 then last := d
+        else begin
+          scanning := false;
+          i := d
+        end
+      done;
+      ranges := (start, !last - start + 1) :: !ranges
     done;
     List.rev !ranges
 
@@ -678,15 +795,20 @@ module Record = struct
     klog : Klog.t;
     kinds : int -> Kind.t;
     geo : geometry;
+    tuning : tuning;
+        (* same knobs as the block engine; [window_blocks] counts
+           emitted records here, the engine's unit of journal payload *)
     (* overlay: current in-memory page state; records: since last commit *)
     overlay : (int, bytes) Hashtbl.t;
     mutable overlay_order : int list;
     mutable records : record list; (* newest first *)
+    mutable nrecords : int;
     mutable txid : int;
     mutable jpos : int; (* next free j-data block *)
   }
 
-  let create ~tag ~dev ~cache ~klog ~kinds ~geo ~txid =
+  let create ?(tuning = default_tuning) ~tag ~dev ~cache ~klog ~kinds ~geo ~txid
+      () =
     {
       tag;
       dev;
@@ -695,19 +817,22 @@ module Record = struct
       klog;
       kinds;
       geo;
+      tuning;
       overlay = Hashtbl.create 32;
       overlay_order = [];
       records = [];
+      nrecords = 0;
       txid;
       jpos = geo.jfirst;
     }
 
   let find t b = Hashtbl.find_opt t.overlay b
 
-  let write t b data =
+  let write_raw t b data =
     if Kind.is_journal_region (t.kinds b) then
       Klog.error t.klog t.tag "refusing to journal journal block %d" b
     else begin
+      let seen = Hashtbl.mem t.overlay b in
       let old =
         match Hashtbl.find_opt t.overlay b with
         | Some d -> d
@@ -716,6 +841,10 @@ module Record = struct
             | Ok d -> d
             | Error _ -> Bytes.make t.bs '\000')
       in
+      (* A rewrite of an overlaid page diffs against the un-checkpointed
+         state: the ranges the two writes share are journaled once —
+         record-level group commit. *)
+      if seen then Obs.incr_a "jrnl.group_commit.coalesced";
       let ranges = diff_ranges old data in
       List.iter
         (fun (off, len) ->
@@ -732,11 +861,12 @@ module Record = struct
                 r_data = Bytes.sub_string data off l;
               }
               :: t.records;
+            t.nrecords <- t.nrecords + 1;
             if len > l then chunk (off + l) (len - l)
           in
           if len > 0 then chunk off len)
         ranges;
-      if not (Hashtbl.mem t.overlay b) then t.overlay_order <- b :: t.overlay_order;
+      if not seen then t.overlay_order <- b :: t.overlay_order;
       Hashtbl.replace t.overlay b (Bytes.copy data)
     end
 
@@ -782,9 +912,11 @@ module Record = struct
       in
       let blocks = encode_records t.bs records in
       if t.jpos + List.length blocks > t.geo.jend then checkpoint t;
-      if t.jpos + List.length blocks > t.geo.jend then
+      if t.jpos + List.length blocks > t.geo.jend then begin
         (* Oversized transaction: it has already been checkpointed home. *)
-        t.records <- []
+        t.records <- [];
+        t.nrecords <- 0
+      end
       else begin
         Prov.with_role "payload" (fun () ->
             List.iter
@@ -796,8 +928,36 @@ module Record = struct
               blocks);
         ignore (t.dev.Dev.sync ());
         t.records <- [];
-        t.txid <- t.txid + 1
+        t.nrecords <- 0;
+        t.txid <- t.txid + 1;
+        (* Batched checkpointing, as in the block engine: overlaid pages
+           wait for a barrier or the watermark. *)
+        let np = Hashtbl.length t.overlay in
+        if np > 0 then begin
+          let wm = t.tuning.checkpoint_watermark in
+          if wm > 0 && np >= wm then begin
+            Obs.incr_a "jrnl.checkpoint.batched";
+            checkpoint t
+          end
+          else Obs.incr_a "jrnl.checkpoint.batched.deferred"
+        end
       end
+
+  (* Record-engine group-commit window: soft-close once [window_blocks]
+     records are emitted (the record is this engine's payload unit). *)
+  let maybe_flush_window t =
+    if
+      (not t.tuning.group_commit)
+      && t.tuning.window_blocks > 0
+      && t.nrecords >= t.tuning.window_blocks
+    then begin
+      Obs.incr_a "jrnl.group_commit.window_flush";
+      commit t
+    end
+
+  let write t b data =
+    write_raw t b data;
+    maybe_flush_window t
 
   let recover ~tag ~geo ~dev ~klog () =
     Obs.span_a ~subsystem:"jrnl" "recover" @@ fun () ->

@@ -1,0 +1,74 @@
+(* Per-domain pool of fixed-size byte buffers.
+
+   The campaign executor allocates tens of thousands of 4 KiB block
+   buffers per second (cache fills, journal transaction images, scratch
+   blocks), all short-lived and all landing on the major heap because
+   4 KiB exceeds the minor allocation threshold. Pooling them turns that
+   churn into pointer swaps.
+
+   Arenas are per-domain (looked up through [Domain.DLS]), so [get] and
+   [put] never race: a buffer fetched on a worker domain returns to that
+   worker's pool. Buffers carry no ownership tracking — [put] is a
+   promise by the caller that nothing aliases the buffer anymore; the
+   pool is only a cache, so dropping a buffer instead of returning it is
+   always safe, just slower. A capacity bound keeps a pathological
+   release burst from pinning unbounded memory. *)
+
+type t = {
+  size : int;
+  cap : int;
+  mutable free : bytes list;
+  mutable nfree : int;
+}
+
+let create ?(cap = 4096) size =
+  if size <= 0 then invalid_arg "Arena.create: size must be positive";
+  { size; cap; free = []; nfree = 0 }
+
+let size t = t.size
+
+let get t =
+  match t.free with
+  | b :: rest ->
+      t.free <- rest;
+      t.nfree <- t.nfree - 1;
+      b
+  | [] -> Bytes.create t.size
+
+let get_zeroed t =
+  match t.free with
+  | b :: rest ->
+      t.free <- rest;
+      t.nfree <- t.nfree - 1;
+      Bytes.fill b 0 t.size '\000';
+      b
+  | [] -> Bytes.make t.size '\000'
+
+let copy t data =
+  if Bytes.length data <> t.size then Bytes.copy data
+  else begin
+    let b = get t in
+    Bytes.blit data 0 b 0 t.size;
+    b
+  end
+
+let put t b =
+  if Bytes.length b = t.size && t.nfree < t.cap then begin
+    t.free <- b :: t.free;
+    t.nfree <- t.nfree + 1
+  end
+
+(* The calling domain's shared pool for [size]-byte buffers. One table
+   per domain keyed by buffer size; in practice only the block size of
+   the simulated disks (4 KiB) ever appears. *)
+let dls : (int, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let block size =
+  let tbl = Domain.DLS.get dls in
+  match Hashtbl.find_opt tbl size with
+  | Some a -> a
+  | None ->
+      let a = create size in
+      Hashtbl.add tbl size a;
+      a

@@ -1,0 +1,36 @@
+(** Per-domain pool of fixed-size byte buffers.
+
+    Block-sized buffers (cache fills, journal images, scratch blocks)
+    dominate the executor's allocation profile; pooling them avoids the
+    major-heap churn of reallocating 4 KiB buffers per operation.
+
+    Pools are only caches: [put] is a promise that nothing aliases the
+    buffer anymore, and forgetting to [put] merely costs a future
+    allocation. Never [put] a buffer that a caller may still read. *)
+
+type t
+
+val create : ?cap:int -> int -> t
+(** [create size] is an empty pool of [size]-byte buffers. [cap] bounds
+    how many released buffers are retained (default 4096). *)
+
+val size : t -> int
+
+val get : t -> bytes
+(** A [size t]-byte buffer with unspecified contents — the caller must
+    overwrite it fully (or use {!get_zeroed} / {!copy}). *)
+
+val get_zeroed : t -> bytes
+(** Like {!get} but zero-filled, as [Bytes.make size '\000']. *)
+
+val copy : t -> bytes -> bytes
+(** [copy t data] is [Bytes.copy data] drawing the result from the pool
+    when [data] is exactly [size t] long (fresh allocation otherwise). *)
+
+val put : t -> bytes -> unit
+(** Return a buffer to the pool. Buffers of the wrong size, or arriving
+    when the pool is full, are dropped (safe, just not reused). *)
+
+val block : int -> t
+(** The calling domain's shared pool for [size]-byte buffers. Buffers
+    must be returned on the same domain they were fetched from. *)

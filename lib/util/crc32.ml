@@ -1,25 +1,67 @@
-(* The table is built eagerly at module load: forcing a [lazy]
+(* The tables are built eagerly at module load: forcing a [lazy]
    concurrently from several domains is a race in OCaml 5 (it can raise
    [CamlinternalLazy.Undefined]), and the campaign executor checksums
-   blocks from every worker domain. 256 words up front is free. *)
-let table =
-  let t = Array.make 256 0 in
+   blocks from every worker domain. 8x256 words up front is free.
+
+   Slicing-by-eight: [tables.(0)] is the classic byte-at-a-time table;
+   [tables.(k).(n)] extends it so eight input bytes fold into the CRC
+   with eight table lookups and two word loads instead of eight
+   dependent byte steps. Produces bit-identical CRCs to the byte loop
+   (pinned by the qcheck differential test). *)
+let tables =
+  let t0 = Array.make 256 0 in
   for n = 0 to 255 do
     let c = ref n in
     for _ = 0 to 7 do
       if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
       else c := !c lsr 1
     done;
-    t.(n) <- !c
+    t0.(n) <- !c
   done;
-  t
+  let ts = Array.make 8 t0 in
+  for k = 1 to 7 do
+    let prev = ts.(k - 1) in
+    let t = Array.make 256 0 in
+    for n = 0 to 255 do
+      t.(n) <- t0.(prev.(n) land 0xFF) lxor (prev.(n) lsr 8)
+    done;
+    ts.(k) <- t
+  done;
+  ts
 
 let update crc ?(off = 0) ?len b =
   let len = match len with Some l -> l | None -> Bytes.length b - off in
-  let t = table in
+  let t0 = tables.(0)
+  and t1 = tables.(1)
+  and t2 = tables.(2)
+  and t3 = tables.(3)
+  and t4 = tables.(4)
+  and t5 = tables.(5)
+  and t6 = tables.(6)
+  and t7 = tables.(7) in
   let c = ref (crc lxor 0xFFFFFFFF) in
-  for i = off to off + len - 1 do
-    c := t.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)
+  let i = ref off in
+  let fin = off + len in
+  while fin - !i >= 8 do
+    let lo = Int32.to_int (Bytes.get_int32_le b !i) land 0xFFFFFFFF in
+    let hi = Int32.to_int (Bytes.get_int32_le b (!i + 4)) land 0xFFFFFFFF in
+    let x = !c lxor lo in
+    c :=
+      Array.unsafe_get t7 (x land 0xFF)
+      lxor Array.unsafe_get t6 ((x lsr 8) land 0xFF)
+      lxor Array.unsafe_get t5 ((x lsr 16) land 0xFF)
+      lxor Array.unsafe_get t4 ((x lsr 24) land 0xFF)
+      lxor Array.unsafe_get t3 (hi land 0xFF)
+      lxor Array.unsafe_get t2 ((hi lsr 8) land 0xFF)
+      lxor Array.unsafe_get t1 ((hi lsr 16) land 0xFF)
+      lxor Array.unsafe_get t0 ((hi lsr 24) land 0xFF);
+    i := !i + 8
+  done;
+  while !i < fin do
+    c :=
+      Array.unsafe_get t0 ((!c lxor Char.code (Bytes.get b !i)) land 0xFF)
+      lxor (!c lsr 8);
+    incr i
   done;
   !c lxor 0xFFFFFFFF
 

@@ -101,9 +101,11 @@ let notify on_job ~queue_ms ~run_ms =
    workers to load-balance. Small batches (at least ~4 entries per
    worker when the input allows it) keep the tail from serializing. *)
 let max_chunk = 16
+let min_chunks_per_worker = 4
 
 let chunk_size t n =
-  max 1 (min max_chunk ((n + (4 * t.size) - 1) / (4 * t.size)))
+  let target = min_chunks_per_worker * t.size in
+  max 1 (min max_chunk ((n + target - 1) / target))
 
 let map ?on_job t f xs =
   let input = Array.of_list xs in

@@ -1,75 +1,33 @@
 type t = string (* 20 raw bytes *)
 
-let mask = 0xFFFFFFFF
-let ( &< ) x n = (x lsl n) land mask
-let rotl x n = (x &< n) lor (x lsr (32 - n))
-
 type ctx = {
-  mutable h0 : int;
-  mutable h1 : int;
-  mutable h2 : int;
-  mutable h3 : int;
-  mutable h4 : int;
+  h : int array; (* 5-element chaining state, 32-bit values as ints *)
   block : bytes; (* 64-byte accumulation buffer *)
   mutable used : int; (* bytes pending in [block] *)
   mutable total : int; (* total message bytes fed *)
-  w : int array; (* message schedule, reused across blocks *)
 }
+
+(* The 80-round compression function lives in C (iron_sha1_stubs.c):
+   ixt3 hashes every checksummed block on read and write, so this is the
+   hottest pure-CPU loop in the campaign. The stub processes [nblocks]
+   consecutive 64-byte blocks; callers below guarantee
+   off + 64*nblocks <= length buf. *)
+external compress_n : int array -> bytes -> int -> int -> unit
+  = "iron_sha1_compress_n"
+[@@noalloc]
 
 let init () =
   {
-    h0 = 0x67452301;
-    h1 = 0xEFCDAB89;
-    h2 = 0x98BADCFE;
-    h3 = 0x10325476;
-    h4 = 0xC3D2E1F0;
+    h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |];
     block = Bytes.create 64;
     used = 0;
     total = 0;
-    w = Array.make 80 0;
   }
-
-let compress ctx buf off =
-  let w = ctx.w in
-  for i = 0 to 15 do
-    let p = off + (i * 4) in
-    w.(i) <-
-      (Char.code (Bytes.get buf p) lsl 24)
-      lor (Char.code (Bytes.get buf (p + 1)) lsl 16)
-      lor (Char.code (Bytes.get buf (p + 2)) lsl 8)
-      lor Char.code (Bytes.get buf (p + 3))
-  done;
-  for i = 16 to 79 do
-    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
-  done;
-  let a = ref ctx.h0
-  and b = ref ctx.h1
-  and c = ref ctx.h2
-  and d = ref ctx.h3
-  and e = ref ctx.h4 in
-  for i = 0 to 79 do
-    let f, k =
-      if i < 20 then (!b land !c lor (lnot !b land mask land !d), 0x5A827999)
-      else if i < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
-      else if i < 60 then
-        (!b land !c lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
-      else (!b lxor !c lxor !d, 0xCA62C1D6)
-    in
-    let tmp = (rotl !a 5 + f + !e + k + w.(i)) land mask in
-    e := !d;
-    d := !c;
-    c := rotl !b 30;
-    b := !a;
-    a := tmp
-  done;
-  ctx.h0 <- (ctx.h0 + !a) land mask;
-  ctx.h1 <- (ctx.h1 + !b) land mask;
-  ctx.h2 <- (ctx.h2 + !c) land mask;
-  ctx.h3 <- (ctx.h3 + !d) land mask;
-  ctx.h4 <- (ctx.h4 + !e) land mask
 
 let feed ctx ?(off = 0) ?len buf =
   let len = match len with Some l -> l | None -> Bytes.length buf - off in
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Sha1.feed";
   ctx.total <- ctx.total + len;
   let pos = ref off in
   let left = ref len in
@@ -81,15 +39,16 @@ let feed ctx ?(off = 0) ?len buf =
     pos := !pos + take;
     left := !left - take;
     if ctx.used = 64 then begin
-      compress ctx ctx.block 0;
+      compress_n ctx.h ctx.block 0 1;
       ctx.used <- 0
     end
   end;
-  while !left >= 64 do
-    compress ctx buf !pos;
-    pos := !pos + 64;
-    left := !left - 64
-  done;
+  let nblocks = !left / 64 in
+  if nblocks > 0 then begin
+    compress_n ctx.h buf !pos nblocks;
+    pos := !pos + (nblocks * 64);
+    left := !left - (nblocks * 64)
+  end;
   if !left > 0 then begin
     Bytes.blit buf !pos ctx.block ctx.used !left;
     ctx.used <- ctx.used + !left
@@ -120,11 +79,11 @@ let finalize ctx =
     Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xFF));
     Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xFF))
   in
-  put 0 ctx.h0;
-  put 1 ctx.h1;
-  put 2 ctx.h2;
-  put 3 ctx.h3;
-  put 4 ctx.h4;
+  put 0 ctx.h.(0);
+  put 1 ctx.h.(1);
+  put 2 ctx.h.(2);
+  put 3 ctx.h.(3);
+  put 4 ctx.h.(4);
   Bytes.to_string out
 
 let digest ?(off = 0) ?len buf =

@@ -1,8 +1,10 @@
-(** Pure-OCaml SHA-1.
+(** SHA-1.
 
     ixt3 stores a SHA-1 digest per protected block (the paper's choice of
     checksum, §6.1). The implementation is the standard FIPS 180-1
-    algorithm; the test suite checks it against published vectors. *)
+    algorithm — streaming state and padding in OCaml, the 80-round
+    compression in a C stub (the campaign's hottest pure-CPU loop); the
+    test suite checks it against published vectors. *)
 
 type t
 (** A 20-byte digest. *)

@@ -1,0 +1,275 @@
+(* The Bigarray block store, differentially against plain-bytes
+   semantics.
+
+   [Bigstore] moved the payload bytes of both simulated disks off-heap
+   (Memdisk: one slot per block; Cow: a private slab for the overlay)
+   behind C memcpy stubs. The contract is that nothing above the store
+   can tell: a Memdisk and a Cow device driven through the production
+   stack (fault injector + observability wrapper) must behave
+   byte-for-byte like an array of [bytes] blocks — reads, zero-copy
+   reads, writes, raw peek/poke, snapshot and restore included, with
+   armed read/write faults failing identically on both stacks.
+
+   Plus direct unit tests of the slab's safety boundary: every public
+   operation validates the slot handle and the byte range, so the
+   unsafe blits below can trust their arguments. *)
+
+open Iron_disk
+module Fault = Iron_fault.Fault
+module Obs = Iron_obs.Obs
+
+let qtest t =
+  (* Deterministic: the whole suite replays bit-for-bit. *)
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 7211 |]) t
+
+(* ---- slab unit tests -------------------------------------------------- *)
+
+let roundtrip () =
+  let s = Bigstore.create ~chunk_slots:4 ~slot_size:64 () in
+  (* Allocate across several chunk boundaries: slot addresses must be
+     stable while the slab grows. *)
+  let slots = Array.init 23 (fun _ -> Bigstore.alloc s) in
+  Array.iteri
+    (fun i slot ->
+      let b = Bytes.make 64 (Char.chr (i + 33)) in
+      Bigstore.write s slot b)
+    slots;
+  Array.iteri
+    (fun i slot ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "slot %d" i)
+        (Bytes.make 64 (Char.chr (i + 33)))
+        (Bigstore.copy_out s slot))
+    slots;
+  Alcotest.(check int) "live" 23 (Bigstore.live s)
+
+let recycle_zeroed () =
+  let s = Bigstore.create ~chunk_slots:4 ~slot_size:32 () in
+  let a = Bigstore.alloc s in
+  Bigstore.write s a (Bytes.make 32 '\xAB');
+  Bigstore.free s a;
+  (* [alloc_zeroed] must scrub a recycled slot: the previous owner's
+     bytes must not leak through. *)
+  let b = Bigstore.alloc_zeroed s in
+  Alcotest.(check bytes) "scrubbed" (Bytes.make 32 '\000')
+    (Bigstore.copy_out s b)
+
+let dead_slots_rejected () =
+  let s = Bigstore.create ~chunk_slots:4 ~slot_size:32 () in
+  let a = Bigstore.alloc s in
+  Bigstore.free s a;
+  let rejects name f =
+    Alcotest.check_raises name
+      (Invalid_argument (Printf.sprintf "Bigstore.%s: dead slot 0" name))
+      (fun () -> f ())
+  in
+  rejects "copy_out" (fun () -> ignore (Bigstore.copy_out s a));
+  rejects "write" (fun () -> Bigstore.write s a (Bytes.create 32));
+  rejects "free" (fun () -> Bigstore.free s a);
+  (* Never-allocated and out-of-range handles are just as dead. *)
+  Alcotest.check_raises "never allocated"
+    (Invalid_argument "Bigstore.copy_out: dead slot 7") (fun () ->
+      ignore (Bigstore.copy_out s 7));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bigstore.copy_out: dead slot -1") (fun () ->
+      ignore (Bigstore.copy_out s (-1)))
+
+let ranges_checked () =
+  let s = Bigstore.create ~chunk_slots:4 ~slot_size:32 () in
+  let a = Bigstore.alloc s in
+  Alcotest.check_raises "write size"
+    (Invalid_argument "Bigstore.write: buffer size") (fun () ->
+      Bigstore.write s a (Bytes.create 31));
+  Alcotest.check_raises "read_into size"
+    (Invalid_argument "Bigstore.read_into: buffer size") (fun () ->
+      Bigstore.read_into s a (Bytes.create 33));
+  Alcotest.check_raises "write_sub over"
+    (Invalid_argument "Bigstore.write_sub: range") (fun () ->
+      Bigstore.write_sub s a (Bytes.create 64) 33);
+  (* A legal partial write leaves the slot's tail intact. *)
+  Bigstore.write s a (Bytes.make 32 '\x55');
+  Bigstore.write_sub s a (Bytes.make 5 '\xFF') 5;
+  let got = Bigstore.copy_out s a in
+  Alcotest.(check bytes) "spliced"
+    (Bytes.cat (Bytes.make 5 '\xFF') (Bytes.make 27 '\x55'))
+    got
+
+(* ---- differential: both devices vs plain bytes ------------------------ *)
+
+type op =
+  | Write of int * int (* block selector, payload seed *)
+  | Read of int
+  | Read_into of int
+  | Peek of int
+  | Poke of int * int * int (* block, payload seed, length-ish *)
+  | Arm_fail_read of int
+  | Arm_fail_write of int
+  | Clear_faults
+  | Snapshot
+  | Restore of int (* selector into saved snapshots *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun b s -> Write (b, s)) (int_bound 70) (int_bound 10_000));
+        (4, map (fun b -> Read b) (int_bound 70));
+        (4, map (fun b -> Read_into b) (int_bound 70));
+        (2, map (fun b -> Peek b) (int_bound 63));
+        ( 2,
+          map3
+            (fun b s l -> Poke (b, s, l))
+            (int_bound 63) (int_bound 10_000) (int_bound 80) );
+        (2, map (fun b -> Arm_fail_read b) (int_bound 63));
+        (2, map (fun b -> Arm_fail_write b) (int_bound 63));
+        (2, return Clear_faults);
+        (2, return Snapshot);
+        (2, map (fun i -> Restore i) (int_bound 10));
+      ])
+
+let print_op = function
+  | Write (b, s) -> Printf.sprintf "Write(%d,%d)" b s
+  | Read b -> Printf.sprintf "Read(%d)" b
+  | Read_into b -> Printf.sprintf "Read_into(%d)" b
+  | Peek b -> Printf.sprintf "Peek(%d)" b
+  | Poke (b, s, l) -> Printf.sprintf "Poke(%d,%d,%d)" b s l
+  | Arm_fail_read b -> Printf.sprintf "Arm_fail_read(%d)" b
+  | Arm_fail_write b -> Printf.sprintf "Arm_fail_write(%d)" b
+  | Clear_faults -> "Clear_faults"
+  | Snapshot -> "Snapshot"
+  | Restore i -> Printf.sprintf "Restore(%d)" i
+
+let num_blocks = 64
+let block_size = 512
+
+let payload seed =
+  let b = Bytes.create block_size in
+  let st = ref seed in
+  for i = 0 to block_size - 1 do
+    st := (!st * 1103515245) + 12345;
+    Bytes.set b i (Char.chr ((!st lsr 16) land 0xff))
+  done;
+  b
+
+let run_case ops =
+  let params =
+    { Memdisk.default_params with Memdisk.num_blocks; block_size; seed = 7 }
+  in
+  let md = Memdisk.create ~params () in
+  Memdisk.set_time_model md false;
+  let cd = Cow.create ~params () in
+  Cow.set_time_model cd false;
+  (* The production stack above each store: injector, then the
+     observability wrapper. *)
+  let obs = Obs.create () in
+  let m_inj = Fault.create ~obs (Memdisk.dev md) in
+  let c_inj = Fault.create ~obs (Cow.dev cd) in
+  let m_dev = Dev.observe obs (Fault.dev m_inj) in
+  let c_dev = Dev.observe obs (Fault.dev c_inj) in
+  (* The reference: block number -> bytes, no cleverness. *)
+  let model = Array.init num_blocks (fun _ -> Bytes.make block_size '\000') in
+  let saved = ref [] (* (image, deep copy of model) *) in
+  let fail why = QCheck.Test.fail_reportf "%s" why in
+  let check_same what a b = if not (a = b) then fail (what ^ ": stacks disagree") in
+  let check_block what b =
+    if b >= 0 && b < num_blocks then begin
+      let m = Memdisk.peek md b and c = Cow.peek cd b in
+      if not (Bytes.equal m (model.(b))) then
+        fail (Printf.sprintf "%s: memdisk block %d diverged" what b);
+      if not (Bytes.equal c (model.(b))) then
+        fail (Printf.sprintf "%s: cow block %d diverged" what b)
+    end
+  in
+  let check_all what =
+    for b = 0 to num_blocks - 1 do
+      check_block what b
+    done
+  in
+  let apply op =
+    match op with
+    | Write (b, s) -> (
+        let data = payload s in
+        let rm = m_dev.Dev.write b data and rc = c_dev.Dev.write b data in
+        check_same "write result" rm rc;
+        (match rm with Ok () -> Bytes.blit data 0 model.(b) 0 block_size | Error _ -> ());
+        check_block "write" b)
+    | Read b -> (
+        let rm = m_dev.Dev.read b and rc = c_dev.Dev.read b in
+        match (rm, rc) with
+        | Ok dm, Ok dc ->
+            if not (Bytes.equal dm dc) then fail "read: stacks disagree";
+            if not (Bytes.equal dm model.(b)) then fail "read: diverged from model"
+        | Error em, Error ec -> check_same "read error" em ec
+        | _ -> fail "read: one stack failed, the other did not")
+    | Read_into b -> (
+        let bm = Bytes.create block_size and bc = Bytes.create block_size in
+        let rm = m_dev.Dev.read_into b bm and rc = c_dev.Dev.read_into b bc in
+        check_same "read_into result" rm rc;
+        match rm with
+        | Ok () ->
+            if not (Bytes.equal bm bc) then fail "read_into: stacks disagree";
+            if not (Bytes.equal bm model.(b)) then
+              fail "read_into: diverged from model"
+        | Error _ -> ())
+    | Peek b -> check_block "peek" b
+    | Poke (b, s, l) ->
+        (* Raw partial write under the fault layer's feet; both devices
+           clamp to the block size, the model does the same. *)
+        let l = min l block_size in
+        let data = Bytes.sub (payload s) 0 l in
+        Memdisk.poke md b data;
+        Cow.poke cd b data;
+        Bytes.blit data 0 model.(b) 0 l;
+        check_block "poke" b
+    | Arm_fail_read b ->
+        ignore (Fault.arm m_inj (Fault.rule (Fault.Block b) Fault.Fail_read));
+        ignore (Fault.arm c_inj (Fault.rule (Fault.Block b) Fault.Fail_read))
+    | Arm_fail_write b ->
+        ignore (Fault.arm m_inj (Fault.rule (Fault.Block b) Fault.Fail_write));
+        ignore (Fault.arm c_inj (Fault.rule (Fault.Block b) Fault.Fail_write))
+    | Clear_faults ->
+        Fault.disarm_all m_inj;
+        Fault.disarm_all c_inj
+    | Snapshot ->
+        (* Alternate which store produces the frozen image — they are
+           interchangeable by contract. *)
+        let img =
+          if List.length !saved mod 2 = 0 then Cow.snapshot cd
+          else Memdisk.snapshot md
+        in
+        saved := (img, Array.map Bytes.copy model) :: !saved;
+        check_all "snapshot"
+    | Restore i -> (
+        match !saved with
+        | [] -> ()
+        | l ->
+            let img, blocks = List.nth l (i mod List.length l) in
+            Memdisk.restore md img;
+            Cow.restore cd img;
+            Array.iteri
+              (fun b data -> Bytes.blit data 0 model.(b) 0 block_size)
+              blocks;
+            check_all "restore")
+  in
+  List.iter apply ops;
+  check_all "final";
+  true
+
+let differential =
+  QCheck.Test.make ~name:"bigstore devices = bytes semantics" ~count:60
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+       QCheck.Gen.(list_size (int_range 30 120) op_gen))
+    run_case
+
+let suites =
+  [
+    ( "bigstore",
+      [
+        Alcotest.test_case "slab roundtrip across chunks" `Quick roundtrip;
+        Alcotest.test_case "recycled slots are scrubbed" `Quick recycle_zeroed;
+        Alcotest.test_case "dead slots rejected" `Quick dead_slots_rejected;
+        Alcotest.test_case "byte ranges checked" `Quick ranges_checked;
+        qtest differential;
+      ] );
+  ]

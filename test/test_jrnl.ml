@@ -58,6 +58,35 @@ let functor_brands =
     ("jfs", Iron_jfs.Jfs.brand, Jrnl.Ordered);
   ]
 
+(* Batched configurations. Group commit and batched checkpointing are
+   I/O-scheduling knobs: an eager window flush or a checkpoint
+   watermark reorders *when* blocks travel, never *what* a read
+   returns. So the same brands with batching dialled away from the
+   defaults owe exactly the same refinement — every leg below runs
+   over these too, unchanged. *)
+let eager_window =
+  { Jrnl.group_commit = false; window_blocks = 4; checkpoint_watermark = 0 }
+
+let watermark =
+  { Jrnl.group_commit = true; window_blocks = 32; checkpoint_watermark = 3 }
+
+let batched_brands =
+  [
+    ( "ext3/eager-window",
+      Iron_ext3.Ext3.brand Iron_ext3.Profile.{ ext3 with tuning = eager_window },
+      Iron_ext3.Profile.(ext3.mode) );
+    ( "ixt3/watermark",
+      Iron_ext3.Ext3.brand Iron_ext3.Profile.{ ixt3 with tuning = watermark },
+      Iron_ext3.Profile.(ixt3.mode) );
+    ( "ext3-data/watermark",
+      Iron_ext3.Ext3.brand
+        Iron_ext3.Profile.{ Iron_ext3.Modes.data_profile with tuning = watermark },
+      Iron_ext3.Profile.(Iron_ext3.Modes.data_profile.mode) );
+    ( "jfs/eager-window",
+      Iron_jfs.Jfs.brand_with ~tuning:eager_window,
+      Jrnl.Ordered );
+  ]
+
 (* --- op sequences and the spec-state ----------------------------------- *)
 
 let file_paths = [| "/a"; "/b"; "/c"; "/d0/x"; "/d0/y"; "/d1/z" |]
@@ -459,7 +488,7 @@ let t_crash_exploration () =
         check Alcotest.bool
           "writeback loses un-checkpointed data under reordered crashes" true
           (Explore.count r Explore.Data_loss >= 1))
-    functor_brands
+    (functor_brands @ batched_brands)
 
 (* --- directed: the writeback window, data-journal protection ----------- *)
 
@@ -491,6 +520,56 @@ let t_writeback_window () =
     (survived Iron_ext3.Modes.data);
   check Alcotest.bool "writeback loses un-checkpointed data" false
     (survived Iron_ext3.Modes.writeback)
+
+(* --- directed: the batching counters tell the truth -------------------- *)
+
+let t_batch_counters () =
+  (* Drive the same little workload under each tuning and read the
+     engine's own account of what it did: default tuning coalesces and
+     defers, an eager window flushes early, a watermark checkpoints
+     between barriers. *)
+  let counters brand =
+    let obs = Obs.create () in
+    let d =
+      Memdisk.create
+        ~params:
+          { Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 55 }
+        ()
+    in
+    Memdisk.set_time_model d false;
+    let dev = Dev.observe obs (Memdisk.dev d) in
+    Obs.with_ambient obs (fun () ->
+        ok (Fs.mkfs brand dev);
+        let (Fs.Boxed ((module F), t)) = ok (Fs.mount brand dev) in
+        let fd = ok (F.creat t "/gc") in
+        for i = 0 to 7 do
+          ignore (ok (F.write t fd ~off:(i * 1024) (Bytes.make 1024 'g')));
+          ok (F.fsync t fd)
+        done;
+        ignore (F.close t fd);
+        ok (F.unmount t));
+    let n path =
+      match List.assoc_opt path (Obs.snapshot obs) with
+      | Some (Obs.Counter n) -> n
+      | _ -> 0
+    in
+    ( n "jrnl.group_commit.coalesced",
+      n "jrnl.group_commit.window_flush",
+      n "jrnl.checkpoint.batched" )
+  in
+  let coalesced, flushes, _ = counters Iron_ext3.Ext3.std in
+  check Alcotest.bool "default tuning coalesces" true (coalesced > 0);
+  check Alcotest.int "default tuning never flushes a window early" 0 flushes;
+  let _, flushes, _ =
+    counters
+      (Iron_ext3.Ext3.brand Iron_ext3.Profile.{ ext3 with tuning = eager_window })
+  in
+  check Alcotest.bool "eager window flushes early" true (flushes > 0);
+  let _, _, batched =
+    counters
+      (Iron_ext3.Ext3.brand Iron_ext3.Profile.{ ext3 with tuning = watermark })
+  in
+  check Alcotest.bool "watermark checkpoints between barriers" true (batched > 0)
 
 (* --- satellite: unified jrnl spans with device-clock timestamps -------- *)
 
@@ -546,9 +625,13 @@ let suites =
             qtest 2027 (prop_crash name brand mode);
             qtest 3041 (prop_faults name brand);
           ])
-        functor_brands
-      @ [ Alcotest.test_case "writeback window vs data-journal" `Quick
-            t_writeback_window ] );
+        (functor_brands @ batched_brands)
+      @ [
+          Alcotest.test_case "writeback window vs data-journal" `Quick
+            t_writeback_window;
+          Alcotest.test_case "batching counters tell the truth" `Quick
+            t_batch_counters;
+        ] );
     ( "jrnl.crash-exploration",
       [
         Alcotest.test_case "all functor brands, durable-map agreement" `Slow

@@ -65,6 +65,31 @@ let test_map_jobs_sequential_matches_pool () =
     (Pool.map_jobs ~jobs:1 f xs)
     (Pool.map_jobs ~jobs:4 f xs)
 
+(* The chunked submission path (jobs per queue entry scales with
+   input size, capped at [max_chunk]) must stay invisible: for input
+   sizes straddling every interesting boundary of the heuristic —
+   empty, single, one chunk, one chunk ± 1, cap × workers, and a
+   campaign-sized run — the parallel result equals the sequential
+   baseline and the per-job telemetry hook fires exactly once per
+   job. *)
+let test_chunk_heuristic_boundaries () =
+  let f x = (x * 31) lxor (x lsr 2) in
+  List.iter
+    (fun n ->
+      let xs = List.init n (fun i -> i * 5) in
+      let fired = Atomic.make 0 in
+      let on_job ~queue_ms:_ ~run_ms:_ = Atomic.incr fired in
+      let seq = Pool.map_jobs ~jobs:1 f xs in
+      let par = Pool.map_jobs ~on_job ~jobs:4 f xs in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "n=%d: jobs=1 = jobs=4" n)
+        seq par;
+      check Alcotest.int
+        (Printf.sprintf "n=%d: telemetry once per job" n)
+        n (Atomic.get fired))
+    [ 0; 1; 2; 15; 16; 17; 63; 64; 65; 200; 1000 ]
+
 let test_default_jobs_positive () =
   check Alcotest.bool "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
@@ -128,6 +153,8 @@ let suites =
           test_map_raise_propagates_lowest_index;
         Alcotest.test_case "map_jobs 1 = map_jobs 4" `Quick
           test_map_jobs_sequential_matches_pool;
+        Alcotest.test_case "chunk heuristic invisible at every boundary" `Quick
+          test_chunk_heuristic_boundaries;
         Alcotest.test_case "default_jobs positive" `Quick
           test_default_jobs_positive;
         qtest prop_map_preserves_order;
