@@ -11,6 +11,7 @@
    space   - §6.2: space overheads of checksums/replication/parity
    ablate-tc - beyond-paper: transactional-checksum benefit vs commit batching
    crash-states - §6.1: crash-state exploration; what Tc buys under reordering
+   fuzz    - B3 workload-fuzzing campaign: throughput + peak log residency
    scrub   - §3.2: eager (scrubbing) vs lazy latent-error discovery
    obs-overhead - cost of the observability layer on a campaign (off vs on)
    snapshot-restore - executor image discipline: flat restore vs COW restore
@@ -476,6 +477,36 @@ let crash_states () =
      whose payload never landed. ixt3's transactional checksum spots\n\
      the mismatch and refuses the transaction - zero violations.)\n"
 
+(* --- workload fuzzing -------------------------------------------------- *)
+
+(* Seq-1 campaign throughput over the §6.1 pair, plus the peak write-log
+   residency the Wlog.take ownership discipline is meant to bound: a
+   campaign records thousands of workloads through short-lived
+   recorders, and must never hold more than one workload's payload per
+   job. *)
+let fuzz_throughput () =
+  hr "Workload fuzzing (B3): campaign throughput and residency";
+  Printf.printf
+    "A seq-1 campaign per file system: states/sec across enumeration,\n\
+     cross-workload dedup and checking; peak bytes a single recorded\n\
+     write log retained.\n\n";
+  Format.printf "%-8s %9s %8s %8s %11s %11s %10s@." "fs" "workloads" "raw"
+    "unique" "violations" "states/s" "peak-log";
+  List.iter
+    (fun brand ->
+      let t0 = Unix.gettimeofday () in
+      let r = Iron_fuzz.Fuzz.campaign ~jobs:!workers ~seq:1 brand in
+      let dt = Unix.gettimeofday () -. t0 in
+      let open Iron_fuzz.Fuzz in
+      let rate = int_of_float (float r.fz_states_raw /. Float.max dt 0.001) in
+      Format.printf "%-8s %9d %8d %8d %11d %11d %9dB  (%.1fs)@." r.fz_fs
+        r.fz_workloads r.fz_states_raw r.fz_states r.fz_violations rate
+        r.fz_peak_bytes dt;
+      stash ("bench.fuzz." ^ r.fz_fs ^ ".states_per_sec") rate;
+      stash ("bench.fuzz." ^ r.fz_fs ^ ".peak_log_bytes") r.fz_peak_bytes;
+      stash ("bench.fuzz." ^ r.fz_fs ^ ".violations") r.fz_violations)
+    [ Iron_ext3.Ext3.std; Iron_ext3.Ext3.ixt3 ]
+
 (* --- causal forensics overhead ----------------------------------------- *)
 
 let forensics_overhead () =
@@ -570,6 +601,7 @@ let all_experiments =
     ("space", space);
     ("ablate-tc", ablate_tc);
     ("crash-states", crash_states);
+    ("fuzz", fuzz_throughput);
     ("forensics-overhead", forensics_overhead);
     ("scrub", scrub);
     ("obs-overhead", obs_overhead);

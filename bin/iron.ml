@@ -8,6 +8,7 @@
      iron robust                   detected-and-recovered counts
      iron stats                    observed campaign metrics table
      iron crash [FS]...            crash-state exploration (power cuts)
+     iron fuzz [FS]...             bounded workload fuzzing (B3) over crash states
      iron explain [FS]...          crash forensics: culprit writes + timeline
      iron diff GOLDEN FRESH        compare artifact trees; exit 1 on drift
      iron golden [--update]        regenerate / check golden/ artifacts
@@ -94,6 +95,17 @@ let out_arg =
                  into $(docv), for $(b,iron diff). The artifacts carry \
                  only the deterministic outputs, so two runs with the \
                  same seed produce byte-identical files.")
+
+(* Post-parse argument validation (Iron_fuzz.Args): out-of-range
+   numbers and unknown brand names get a one-line error and exit 2,
+   never an exception trace. *)
+let validate = function
+  | Ok v -> v
+  | Error msg ->
+      Format.eprintf "iron: %s@." msg;
+      exit 2
+
+let known_brands = List.map fst brands
 
 (* mkdir -p, portably enough for artifact output directories. *)
 let rec mkdir_p dir =
@@ -366,6 +378,8 @@ let crash_cmd =
                    forensics artifact per file system.")
   in
   let run fses jobs seed states check explain trace metrics out =
+    let states = validate (Iron_fuzz.Args.positive ~what:"--states" states) in
+    let jobs = validate (Iron_fuzz.Args.positive ~what:"--jobs" jobs) in
     let observe = trace <> None || metrics <> None in
     let observed = ref [] in
     let failed = ref [] in
@@ -432,6 +446,84 @@ let crash_cmd =
     Term.(const run $ fs_args $ jobs_arg $ seed_arg $ states_arg $ check_arg
           $ explain_arg $ trace_arg $ metrics_arg $ out_arg)
 
+(* --- fuzz: bounded black-box workload fuzzing (B3) --------------------- *)
+
+let fuzz_cmd =
+  (* FS arguments parse as plain strings so unknown names flow through
+     Iron_fuzz.Args.brand: one-line error, exit 2 (the table-driven CLI
+     test pins this). *)
+  let fs_str_args =
+    Arg.(value & pos_all string [ "ext3" ]
+         & info [] ~docv:"FS" ~doc:"File systems to fuzz.")
+  in
+  let seq_arg =
+    Arg.(value & opt int 1
+         & info [ "seq" ] ~docv:"N"
+             ~doc:"Workload-sequence bound: every workload of length <= \
+                   $(docv) over the generator's name set. 1 and 2 are \
+                   exhaustive (37 and 1406 workloads); 3 adds seeded \
+                   sampled triples. Must be 1, 2 or 3.")
+  in
+  let cap_arg =
+    Arg.(value & opt int 150
+         & info [ "states-per-workload" ] ~docv:"N"
+             ~doc:"Crash-state bound per workload (systematic states \
+                   first, seeded random per-block prefixes top up).")
+  in
+  let samples_arg =
+    Arg.(value & opt int 200
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Seeded seq-3 workload samples (only with --seq 3).")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Run the causal-forensics pass on each violating \
+                   workload: minimize every violation to the dropped or \
+                   torn writes that produced it and print the \
+                   attribution chains.")
+  in
+  let run fses jobs seed seq cap samples explain out =
+    let seq = validate (Iron_fuzz.Args.seq seq) in
+    let cap =
+      validate (Iron_fuzz.Args.positive ~what:"--states-per-workload" cap)
+    in
+    let samples = validate (Iron_fuzz.Args.positive ~what:"--samples" samples) in
+    let jobs = validate (Iron_fuzz.Args.positive ~what:"--jobs" jobs) in
+    let fses =
+      List.map
+        (fun n -> validate (Iron_fuzz.Args.brand ~known:known_brands n))
+        fses
+    in
+    List.iter
+      (fun name ->
+        let brand = List.assoc name brands in
+        let r =
+          Iron_fuzz.Fuzz.campaign ~jobs ~seq ~states_per_workload:cap ~seed
+            ~samples ~explain brand
+        in
+        Format.printf "%a@.@." Iron_fuzz.Fuzz.pp_report r;
+        if explain && List.exists (fun c -> c.Iron_fuzz.Fuzz.cs_chains <> []) r.Iron_fuzz.Fuzz.fz_cases
+        then Format.printf "%a@." Iron_fuzz.Fuzz.pp_chains r;
+        match out with
+        | None -> ()
+        | Some dir -> save_artifact dir (Iron_report.Report.of_fuzz r))
+      fses
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Bounded black-box crash fuzzing (CrashMonkey/B3): generate \
+             every workload of bounded length over a small name set, run \
+             each through the crash-state explorer, deduplicate crash \
+             states across workloads by content hash, and check each \
+             novel state against a per-workload durability oracle. \
+             Violating workloads are shrunk to their smallest \
+             still-violating op subsequence. Deterministic: the report \
+             and the --out artifact are byte-identical for any -j with \
+             the same --seed.")
+    Term.(const run $ fs_str_args $ jobs_arg $ seed_arg $ seq_arg $ cap_arg
+          $ samples_arg $ explain_arg $ out_arg)
+
 (* --- explain: the causal-forensics console ----------------------------- *)
 
 (* Render one recorded write as a Chrome-trace span. Exploration runs
@@ -491,6 +583,8 @@ let explain_cmd =
              ~doc:"Upper bound on distinct crash states per file system.")
   in
   let run fses jobs seed states trace out =
+    let states = validate (Iron_fuzz.Args.positive ~what:"--states" states) in
+    let jobs = validate (Iron_fuzz.Args.positive ~what:"--jobs" jobs) in
     List.iter
       (fun brand ->
         let r =
@@ -646,6 +740,11 @@ let golden_crash_opt_out = [ "reiserfs"; "jfs"; "ntfs" ]
    signal. *)
 let golden_forensics_fses = [ "ext3"; "ixt3" ]
 
+(* Fuzz goldens pin the seq-1 campaign for the §6.1 pair: the corpus
+   digest freezes every deduped crash state, the cases freeze ext3's
+   violating workloads (minimized) and ixt3's empty case list. *)
+let golden_fuzz_fses = [ "ext3"; "ixt3" ]
+
 let golden_fingerprint_fses =
   List.filter_map
     (fun (name, _) ->
@@ -677,6 +776,8 @@ let golden_cmd =
              ~doc:"Crash-state bound (must match the committed artifacts).")
   in
   let run update dir jobs seed states =
+    let states = validate (Iron_fuzz.Args.positive ~what:"--states" states) in
+    let jobs = validate (Iron_fuzz.Args.positive ~what:"--jobs" jobs) in
     let fresh = ref [] in
     List.iter
       (fun name ->
@@ -696,6 +797,12 @@ let golden_cmd =
         if forensics then
           fresh := Report.of_forensics ~seed ~max_states:states r :: !fresh)
       golden_crash_fses;
+    List.iter
+      (fun name ->
+        let brand = List.assoc name brands in
+        let r = Iron_fuzz.Fuzz.campaign ~jobs ~seq:1 ~seed brand in
+        fresh := Report.of_fuzz r :: !fresh)
+      golden_fuzz_fses;
     let fresh = List.rev !fresh in
     if update then begin
       List.iter (fun art -> save_artifact dir art) fresh;
@@ -788,5 +895,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd;
-            stats_cmd; scrub_cmd; crash_cmd; explain_cmd; fsck_cmd; diff_cmd;
-            golden_cmd ]))
+            stats_cmd; scrub_cmd; crash_cmd; fuzz_cmd; explain_cmd; fsck_cmd;
+            diff_cmd; golden_cmd ]))

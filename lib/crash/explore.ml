@@ -265,8 +265,7 @@ let key_of choices torn =
   | None -> ());
   Buffer.contents buf
 
-let enumerate ~seed ~max_states (r : recorded) =
-  let entries = r.entries in
+let enumerate_core ~seed ~max_states ~(entries : Wlog.entry array) ~n_epochs =
   let seen = Hashtbl.create 1024 in
   let specs = ref [] in
   let n_specs = ref 0 in
@@ -328,7 +327,7 @@ let enumerate ~seed ~max_states (r : recorded) =
   in
   (* Barrier-honouring windows: one per sync-delimited epoch. *)
   let windows = ref [] in
-  for e = 0 to r.n_epochs do
+  for e = 0 to n_epochs do
     let w =
       window_of entries
         ~name:(Printf.sprintf "e%d" e)
@@ -374,6 +373,9 @@ let enumerate ~seed ~max_states (r : recorded) =
   end;
   List.rev !specs
 
+let enumerate ~seed ~max_states (r : recorded) =
+  enumerate_core ~seed ~max_states ~entries:r.entries ~n_epochs:r.n_epochs
+
 (* ------------------------------------------------------------------ *)
 (* Check                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -405,16 +407,21 @@ let scratch ~params =
       slot := Some (params.Memdisk.num_blocks, c);
       c
 
-let check_state ~params ~brand ~fsck (r : recorded) spec =
+(* The invariant-check skeleton, shared by the fixed-workload explorer
+   and the fuzzing campaign: materialize the spec (O(dirty) restore +
+   one poke per chosen block), remount, detect Tc, run the
+   caller-supplied data verifier, unmount, optionally fsck. *)
+let check_with ~params ~brand ~fsck ~verify ~baseline
+    ~(entries : Wlog.entry array) spec =
   let cow = scratch ~params in
-  Cow.restore cow r.baseline;
+  Cow.restore cow baseline;
   Array.iter
-    (fun (b, i) -> Cow.poke cow b r.entries.(i).Wlog.w_data)
+    (fun (b, i) -> Cow.poke cow b entries.(i).Wlog.w_data)
     spec.choices;
   (match spec.torn with
   | None -> ()
   | Some (i, len) ->
-      let e = r.entries.(i) in
+      let e = entries.(i) in
       let cur = Cow.peek cow e.Wlog.w_block in
       let len = min len (Bytes.length e.Wlog.w_data) in
       Bytes.blit e.Wlog.w_data 0 cur 0 len;
@@ -425,7 +432,7 @@ let check_state ~params ~brand ~fsck (r : recorded) spec =
   | `Panic m -> { viol = Some (Panic, "panic during recovery: " ^ m); tc = false }
   | `Mounted (Error e) ->
       { viol = Some (Unmountable, "mount: " ^ Errno.to_string e); tc = false }
-  | `Mounted (Ok (Fs.Boxed ((module F), t))) -> (
+  | `Mounted (Ok (Fs.Boxed ((module F), t) as fsb)) -> (
       let tc =
         List.exists
           (fun (en : Klog.entry) ->
@@ -434,22 +441,7 @@ let check_state ~params ~brand ~fsck (r : recorded) spec =
           (Klog.entries (F.klog t))
       in
       try
-        let missing = ref None in
-        List.iter
-          (fun (path, want) ->
-            if !missing = None then
-              match F.open_ t path Fs.Rd with
-              | Error e ->
-                  missing := Some (path ^ ": open " ^ Errno.to_string e)
-              | Ok fd ->
-                  (match F.read t fd ~off:0 ~len:(String.length want) with
-                  | Ok got when Bytes.to_string got = want -> ()
-                  | Ok _ -> missing := Some (path ^ ": content mismatch")
-                  | Error e ->
-                      missing := Some (path ^ ": read " ^ Errno.to_string e));
-                  ignore (F.close t fd))
-          r.durable;
-        match !missing with
+        match verify fsb with
         | Some d -> { viol = Some (Data_loss, d); tc }
         | None -> (
             match F.unmount t with
@@ -480,6 +472,28 @@ let check_state ~params ~brand ~fsck (r : recorded) spec =
       with Klog.Panic m ->
         { viol = Some (Panic, "panic while checking: " ^ m); tc })
 
+(* The fixed-workload verifier: every durable (fsync'd-before-the-
+   window) file must read back exactly. *)
+let verify_durable durable (Fs.Boxed ((module F), t)) =
+  let missing = ref None in
+  List.iter
+    (fun (path, want) ->
+      if !missing = None then
+        match F.open_ t path Fs.Rd with
+        | Error e -> missing := Some (path ^ ": open " ^ Errno.to_string e)
+        | Ok fd ->
+            (match F.read t fd ~off:0 ~len:(String.length want) with
+            | Ok got when Bytes.to_string got = want -> ()
+            | Ok _ -> missing := Some (path ^ ": content mismatch")
+            | Error e -> missing := Some (path ^ ": read " ^ Errno.to_string e));
+            ignore (F.close t fd))
+    durable;
+  !missing
+
+let check_state ~params ~brand ~fsck (r : recorded) spec =
+  check_with ~params ~brand ~fsck ~verify:(verify_durable r.durable)
+    ~baseline:r.baseline ~entries:r.entries spec
+
 (* ------------------------------------------------------------------ *)
 (* Forensics: causal chains via greedy culprit minimization            *)
 (* ------------------------------------------------------------------ *)
@@ -502,8 +516,7 @@ type forensic_ctx = {
   fx_label : int -> string;
 }
 
-let forensic_ctx ~params ~fsck (r : recorded) =
-  let entries = r.entries in
+let forensic_ctx ~params ~fsck ~baseline ~(entries : Wlog.entry array) =
   let whole =
     window_of entries ~name:"all"
       ~in_durable:(fun _ -> false)
@@ -519,7 +532,7 @@ let forensic_ctx ~params ~fsck (r : recorded) =
   let labels = Hashtbl.create 64 in
   if fsck then begin
     let cow = scratch ~params in
-    Cow.restore cow r.baseline;
+    Cow.restore cow baseline;
     Array.iter
       (fun b -> Hashtbl.replace labels b (Iron_ext3.Classifier.classify (Cow.peek cow) b))
       whole.blocks
@@ -533,8 +546,8 @@ let forensic_ctx ~params ~fsck (r : recorded) =
       (fun b -> match Hashtbl.find_opt labels b with Some l -> l | None -> "?");
   }
 
-let log_of ctx (r : recorded) =
-  Array.to_list r.entries
+let log_of ctx (entries : Wlog.entry array) =
+  Array.to_list entries
   |> List.map (fun (e : Wlog.entry) ->
          let p = e.Wlog.w_prov in
          {
@@ -567,8 +580,8 @@ let role_word = function
    restored; if it disappears, the block's dropped tail is a culprit
    and is reverted. The surviving dropped set is the minimized culprit
    set; by induction the final state still exhibits the violation. *)
-let minimize ~params ~brand ~fsck ctx (r : recorded) (spec, vkind, detail) =
-  let entries = r.entries in
+let minimize_with ~check ctx ~(entries : Wlog.entry array) (spec, vkind, detail)
+    =
   let whole = ctx.fx_whole in
   let nslots = Array.length whole.blocks in
   let counts = Array.make nslots 0 in
@@ -601,7 +614,7 @@ let minimize ~params ~brand ~fsck ctx (r : recorded) (spec, vkind, detail) =
           { label = spec.label; choices = choices_of whole counts; torn = !torn }
         in
         incr probes;
-        let o = check_state ~params ~brand ~fsck r probe in
+        let o = check probe in
         let still =
           match o.viol with Some (k, _) -> k = vkind | None -> false
         in
@@ -691,6 +704,301 @@ let minimize ~params ~brand ~fsck ctx (r : recorded) (spec, vkind, detail) =
     ch_summary = summary;
   }
 
+let minimize ~params ~brand ~fsck ctx (r : recorded) v =
+  minimize_with
+    ~check:(check_state ~params ~brand ~fsck r)
+    ctx ~entries:r.entries v
+
+(* ------------------------------------------------------------------ *)
+(* Per-workload sessions (the fuzzing campaign's entry points)         *)
+(* ------------------------------------------------------------------ *)
+
+module Sha1 = Iron_util.Sha1
+
+type state_spec = spec
+
+let spec_label (s : state_spec) = s.label
+
+(* A recorded generated workload: the frozen post-mount baseline, the
+   write log, and lazily built geometry/digest caches. Sessions are
+   owned by one campaign job at a time — the caches are not
+   domain-safe, and do not need to be. *)
+type session = {
+  ss_baseline : Cow.image;
+  ss_entries : Wlog.entry array;
+  ss_epochs : int;
+  mutable ss_geom : (window * int array * (int, int) Hashtbl.t) option;
+  mutable ss_digests : string array option;
+}
+
+let session_log_len s = Array.length s.ss_entries
+let session_epochs s = s.ss_epochs
+
+let session_log_bytes s =
+  Array.fold_left
+    (fun n (e : Wlog.entry) -> n + Bytes.length e.Wlog.w_data)
+    0 s.ss_entries
+
+let make_base ~params ~setup brand =
+  let cow = scratch ~params in
+  Cow.restore cow
+    (Cow.blank_image ~block_size:params.Memdisk.block_size
+       ~num_blocks:params.Memdisk.num_blocks);
+  let dev = Cow.dev cow in
+  (match Fs.mkfs brand dev with Ok () -> () | Error e -> fail_setup "mkfs" e);
+  (match Fs.mount brand dev with
+  | Error e -> fail_setup "mount" e
+  | Ok (Fs.Boxed ((module F), t) as fsb) -> (
+      setup fsb;
+      match F.unmount t with
+      | Ok () -> ()
+      | Error e -> fail_setup "unmount" e));
+  Cow.snapshot cow
+
+let record_session ~params ~base ~ops brand =
+  let cow = scratch ~params in
+  Cow.restore cow base;
+  let wlog = Wlog.create (Cow.dev cow) in
+  let dev = Wlog.dev wlog in
+  match
+    try `Mounted (Fs.mount brand dev) with Klog.Panic m -> `Panic m
+  with
+  | `Panic m -> failwith ("crash explore: mount panic: " ^ m)
+  | `Mounted (Error e) -> fail_setup "mount" e
+  | `Mounted (Ok fsb) ->
+      let baseline = Cow.snapshot cow in
+      Wlog.set_recording wlog true;
+      (* The workload runs until it finishes or the model panics;
+         either way, abandoning the instance here is the crash. *)
+      (try ops fsb ~closed_epochs:(fun () -> Wlog.epochs wlog)
+       with Klog.Panic _ -> ());
+      let entries, n_epochs = Wlog.take wlog in
+      {
+        ss_baseline = baseline;
+        ss_entries = entries;
+        ss_epochs = n_epochs;
+        ss_geom = None;
+        ss_digests = None;
+      }
+
+let enumerate_session ~seed ~max_states s =
+  enumerate_core ~seed ~max_states ~entries:s.ss_entries ~n_epochs:s.ss_epochs
+
+let geom s =
+  match s.ss_geom with
+  | Some g -> g
+  | None ->
+      let whole =
+        window_of s.ss_entries ~name:"all"
+          ~in_durable:(fun _ -> false)
+          ~in_window:(fun _ -> true)
+      in
+      let pos = Array.make (max 1 (Array.length s.ss_entries)) 0 in
+      Array.iter (fun g -> Array.iteri (fun p i -> pos.(i) <- p) g) whole.groups;
+      let slot = Hashtbl.create 64 in
+      Array.iteri (fun j b -> Hashtbl.replace slot b j) whole.blocks;
+      let g = (whole, pos, slot) in
+      s.ss_geom <- Some g;
+      g
+
+(* Per-block persisted-prefix counts over the whole-log window — the
+   same reconstruction the forensics minimizer uses (exact: every spec
+   persists a per-block prefix by construction). *)
+let counts_of s (spec : spec) =
+  let whole, pos, slot = geom s in
+  let counts = Array.make (Array.length whole.blocks) 0 in
+  Array.iter
+    (fun (b, i) ->
+      match Hashtbl.find_opt slot b with
+      | Some j -> counts.(j) <- pos.(i) + 1
+      | None -> ())
+    spec.choices;
+  (whole, counts)
+
+(* The largest epoch E such that every write of epochs < E is fully
+   persisted by the spec. All VFS activity from epochs < E is then
+   durable in this state (anything later may be arbitrarily partial),
+   which is exactly what a caller's durability oracle may assume. A
+   whole-log reordering that dropped an early write scores E = 0: the
+   lying write-back cache promised nothing. *)
+let spec_epoch s (spec : spec) =
+  let whole, counts = counts_of s spec in
+  let entries = s.ss_entries in
+  let e = ref s.ss_epochs in
+  Array.iteri
+    (fun j c ->
+      if c < Array.length whole.groups.(j) then begin
+        let first_dropped = entries.(whole.groups.(j).(c)) in
+        if first_dropped.Wlog.w_epoch < !e then e := first_dropped.Wlog.w_epoch
+      end)
+    counts;
+  (match spec.torn with
+  | Some (i, _) ->
+      if entries.(i).Wlog.w_epoch < !e then e := entries.(i).Wlog.w_epoch
+  | None -> ());
+  !e
+
+(* A barrier-honouring crash: no persisted write (torn included) from
+   an epoch later than the first dropped write's epoch. An honest disk
+   only issues epoch k+1 writes after every epoch-k write is durable,
+   so persisting later-epoch writes while earlier ones are missing
+   takes a lying write-back cache. *)
+let spec_honest s (spec : spec) =
+  let whole, counts = counts_of s spec in
+  let entries = s.ss_entries in
+  let d = ref s.ss_epochs in
+  Array.iteri
+    (fun j c ->
+      if c < Array.length whole.groups.(j) then begin
+        let first_dropped = entries.(whole.groups.(j).(c)) in
+        if first_dropped.Wlog.w_epoch < !d then d := first_dropped.Wlog.w_epoch
+      end)
+    counts;
+  (match spec.torn with
+  | Some (i, _) ->
+      if entries.(i).Wlog.w_epoch < !d then d := entries.(i).Wlog.w_epoch
+  | None -> ());
+  let ok = ref true in
+  Array.iteri
+    (fun j c ->
+      for k = 0 to c - 1 do
+        if entries.(whole.groups.(j).(k)).Wlog.w_epoch > !d then ok := false
+      done)
+    counts;
+  (match spec.torn with
+  | Some (i, _) -> if entries.(i).Wlog.w_epoch > !d then ok := false
+  | None -> ());
+  !ok
+
+let entry_digests s =
+  match s.ss_digests with
+  | Some d -> d
+  | None ->
+      let d =
+        Array.map
+          (fun (e : Wlog.entry) -> Sha1.to_raw (Sha1.digest e.Wlog.w_data))
+          s.ss_entries
+      in
+      s.ss_digests <- Some d;
+      d
+
+(* Content identity of the final disk state, relative to the (shared)
+   baseline: the SHA-1 over the sorted (block, content-digest) pairs
+   that differ from the baseline. Torn blocks hash their actual merged
+   bytes; choices that rewrite a block with its baseline content are
+   normalized away. Two specs from different workloads over the same
+   base image collide exactly when they leave identical disks. *)
+let spec_digest s (spec : spec) =
+  let entries = s.ss_entries in
+  let dig = entry_digests s in
+  let torn_block, torn_bytes =
+    match spec.torn with
+    | None -> (-1, Bytes.empty)
+    | Some (i, len) ->
+        let e = entries.(i) in
+        let b = e.Wlog.w_block in
+        let under = ref (Cow.image_block s.ss_baseline b) in
+        Array.iter
+          (fun (b', i') -> if b' = b then under := entries.(i').Wlog.w_data)
+          spec.choices;
+        let cur = Bytes.copy !under in
+        let len = min len (Bytes.length e.Wlog.w_data) in
+        Bytes.blit e.Wlog.w_data 0 cur 0 len;
+        (b, cur)
+  in
+  let parts = ref [] in
+  Array.iter
+    (fun (b, i) ->
+      if
+        b <> torn_block
+        && not (Bytes.equal entries.(i).Wlog.w_data (Cow.image_block s.ss_baseline b))
+      then parts := (b, dig.(i)) :: !parts)
+    spec.choices;
+  if
+    torn_block >= 0
+    && not (Bytes.equal torn_bytes (Cow.image_block s.ss_baseline torn_block))
+  then parts := (torn_block, Sha1.to_raw (Sha1.digest torn_bytes)) :: !parts;
+  let ctx = Sha1.init () in
+  List.iter
+    (fun (b, d) ->
+      Sha1.feed ctx (Bytes.unsafe_of_string (Printf.sprintf "%d:" b));
+      Sha1.feed ctx (Bytes.unsafe_of_string d))
+    (List.sort compare !parts);
+  Sha1.to_raw (Sha1.finalize ctx)
+
+(* What a campaign's durability oracle asserts about one path in one
+   crash state. [ex_allowed = None] leaves content unchecked (the path
+   had un-synced data writes in flight). *)
+type expect = {
+  ex_path : string;
+  ex_presence : [ `Present | `Absent | `Any ];
+  ex_allowed : string list option;
+}
+
+let verify_expects expects (Fs.Boxed ((module F), t)) =
+  let check_content ex size fit =
+    if size = 0 then None
+    else
+      match F.open_ t ex.ex_path Fs.Rd with
+      | Error e -> Some (ex.ex_path ^ ": open " ^ Errno.to_string e)
+      | Ok fd ->
+          let r =
+            match F.read t fd ~off:0 ~len:size with
+            | Ok got ->
+                if List.mem (Bytes.to_string got) fit then None
+                else
+                  Some
+                    (Printf.sprintf "%s: content outside the durable set"
+                       ex.ex_path)
+            | Error e -> Some (ex.ex_path ^ ": read " ^ Errno.to_string e)
+          in
+          ignore (F.close t fd);
+          r
+  in
+  let check_one ex =
+    match F.stat t ex.ex_path with
+    | Error e ->
+        if ex.ex_presence = `Present then
+          Some
+            (Printf.sprintf "%s: durable file missing (stat %s)" ex.ex_path
+               (Errno.to_string e))
+        else None
+    | Ok st -> (
+        if ex.ex_presence = `Absent then
+          Some (Printf.sprintf "%s: durably removed path present" ex.ex_path)
+        else
+          match ex.ex_allowed with
+          | None -> None
+          | Some cands ->
+              if st.Fs.st_kind <> Fs.Regular then
+                Some
+                  (Printf.sprintf "%s: not a regular file (%s)" ex.ex_path
+                     (Fs.kind_to_string st.Fs.st_kind))
+              else
+                let size = st.Fs.st_size in
+                let fit = List.filter (fun c -> String.length c = size) cands in
+                if fit = [] then
+                  Some
+                    (Printf.sprintf "%s: size %d outside the durable set"
+                       ex.ex_path size)
+                else check_content ex size fit)
+  in
+  let bad = ref None in
+  List.iter (fun ex -> if !bad = None then bad := check_one ex) expects;
+  !bad
+
+let check_spec ~params ~brand ~fsck ~expects s (spec : state_spec) =
+  check_with ~params ~brand ~fsck
+    ~verify:(verify_expects (expects ~epoch:(spec_epoch s spec)))
+    ~baseline:s.ss_baseline ~entries:s.ss_entries spec
+
+type forensics_ctx = forensic_ctx
+
+let session_forensics ~params ~fsck s =
+  forensic_ctx ~params ~fsck ~baseline:s.ss_baseline ~entries:s.ss_entries
+
+let explain_spec ~check ctx s v = minimize_with ~check ctx ~entries:s.ss_entries v
+
 (* ------------------------------------------------------------------ *)
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -747,13 +1055,16 @@ let explore ?(jobs = 1) ?(seed = 7) ?(max_states = 1000) ?(num_blocks = 2048)
     if not forensics then ([], [])
     else
       in_span "forensics" (fun () ->
-          let ctx = forensic_ctx ~params ~fsck recorded in
+          let ctx =
+            forensic_ctx ~params ~fsck ~baseline:recorded.baseline
+              ~entries:recorded.entries
+          in
           let chains =
             Pool.map_jobs ~jobs
               (fun v -> minimize ~params ~brand ~fsck ctx recorded v)
               viols
           in
-          (chains, log_of ctx recorded))
+          (chains, log_of ctx recorded.entries))
   in
   (match obs with
   | None -> ()

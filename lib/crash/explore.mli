@@ -142,6 +142,139 @@ val explore :
     [(brand, seed, max_states, num_blocks, durable_files,
     racing_files, forensics)] — [jobs] cannot change it. *)
 
+(** {2 Per-workload sessions}
+
+    The workload-fuzzing campaign ({!Iron_fuzz}) replays thousands of
+    {e generated} workloads through the same record / enumerate /
+    materialize / check machinery. These entry points expose the
+    pipeline one workload at a time, with the durability oracle and the
+    crash-state corpus supplied by the caller:
+
+    + {!make_base} builds the shared pre-workload image once per brand
+      (mkfs + caller setup + clean unmount, frozen);
+    + {!record_session} restores that image on the per-domain scratch
+      COW, remounts, snapshots, and records the caller's ops through a
+      {!Wlog};
+    + {!enumerate_session} enumerates crash-state specs exactly as the
+      fixed-workload explorer does; {!spec_digest} gives each state a
+      baseline-relative content identity for cross-workload dedup, and
+      {!spec_epoch} the largest epoch whose VFS activity is provably
+      durable in that state;
+    + {!check_spec} materializes and checks one spec against
+      caller-supplied per-path expectations. *)
+
+type session
+(** One recorded workload: frozen baseline + write log. Owned by one
+    campaign job at a time (internal caches are not domain-safe). *)
+
+val session_log_len : session -> int
+val session_epochs : session -> int
+
+val session_log_bytes : session -> int
+(** Payload bytes the session's write log retains — the recorder's
+    buffers move here wholesale ({!Iron_crash.Wlog.take}), so this is
+    exactly one workload's crash-exploration residency. Campaigns pin
+    their peak per-job residency with it. *)
+
+val make_base :
+  params:Iron_disk.Memdisk.params ->
+  setup:(Iron_vfs.Fs.boxed -> unit) ->
+  Iron_vfs.Fs.brand ->
+  Iron_disk.Cow.image
+(** mkfs on a blank volume, run [setup] (which must leave the volume
+    sync'd), cleanly unmount, freeze. Runs on the calling domain's
+    scratch COW; the frozen image is shareable across domains.
+    @raise Failure if mkfs/mount/setup/unmount fails. *)
+
+val record_session :
+  params:Iron_disk.Memdisk.params ->
+  base:Iron_disk.Cow.image ->
+  ops:(Iron_vfs.Fs.boxed -> closed_epochs:(unit -> int) -> unit) ->
+  Iron_vfs.Fs.brand ->
+  session
+(** Restore [base], remount (its superblock writes land before the
+    snapshot), freeze the session baseline, then record [ops] through a
+    {!Wlog}. [closed_epochs] reads the recorder's epoch counter, so the
+    workload driver can tag its durability expectations with the epoch
+    each [fsync]/[sync] closed. A model panic during [ops] simply ends
+    the recording — abandoning the instance is the crash. *)
+
+type state_spec
+(** One crash-state spec of a session. *)
+
+val spec_label : state_spec -> string
+
+val enumerate_session :
+  seed:int -> max_states:int -> session -> state_spec list
+(** Same enumeration as the fixed-workload explorer: systematic states
+    per reorder window (every epoch plus the whole log), then seeded
+    random per-block prefixes up to [max_states], deduplicated by final
+    content within the session. *)
+
+val spec_epoch : session -> state_spec -> int
+(** The largest [E] such that every recorded write of epochs [< E] is
+    persisted by this spec. All VFS activity from epochs [< E] is
+    durable in this state; anything later may be arbitrarily partial.
+    Whole-log reorderings that drop early writes score [0] — the lying
+    write-back cache promised nothing. *)
+
+val spec_honest : session -> state_spec -> bool
+(** Whether the spec is producible by a barrier-honouring disk: no
+    persisted write (torn included) belongs to an epoch later than the
+    first dropped write's epoch. An honest disk only issues the next
+    epoch's writes after the previous epoch is durable, so a state
+    that keeps a late-epoch write while dropping an earlier one takes
+    a lying write-back cache (the §6.1 scenario). Every epoch-window
+    state and every whole-log {e cut} is honest; whole-log drops and
+    random prefixes generally are not. *)
+
+val spec_digest : session -> state_spec -> string
+(** Raw SHA-1 (20 bytes) of the final disk content relative to the
+    session baseline, normalized (baseline-identical rewrites ignored,
+    torn blocks hashed by their merged bytes). Two specs over the same
+    base image collide iff they leave identical disks, so a campaign
+    can dedup crash states {e across} workloads. *)
+
+(** What a durability oracle asserts about one path in one crash
+    state. [ex_allowed = None] leaves content unchecked (the path had
+    un-synced data writes in flight). *)
+type expect = {
+  ex_path : string;
+  ex_presence : [ `Present | `Absent | `Any ];
+  ex_allowed : string list option;
+}
+
+type outcome = { viol : (kind * string) option; tc : bool }
+
+val check_spec :
+  params:Iron_disk.Memdisk.params ->
+  brand:Iron_vfs.Fs.brand ->
+  fsck:bool ->
+  expects:(epoch:int -> expect list) ->
+  session ->
+  state_spec ->
+  outcome
+(** Materialize the spec on the per-domain scratch COW, remount, check
+    mount/panic invariants and [expects ~epoch:(spec_epoch _ spec)],
+    unmount, and (with [~fsck:true]) cross-check with the offline
+    checker. Expectation failures report as {!Data_loss}. *)
+
+type forensics_ctx
+
+val session_forensics :
+  params:Iron_disk.Memdisk.params -> fsck:bool -> session -> forensics_ctx
+
+val explain_spec :
+  check:(state_spec -> outcome) ->
+  forensics_ctx ->
+  session ->
+  state_spec * kind * string ->
+  chain
+(** The forensics minimizer over a session violation: greedily restore
+    dropped per-block suffixes, re-check via [check], and keep the
+    suffixes whose restoration flips the outcome — same algorithm (and
+    chain shape) as [explore ~forensics:true]. *)
+
 val pp_report : Format.formatter -> report -> unit
 (** One summary line plus the first few violations. Byte-stable: does
     not mention forensics (goldens pin it). *)

@@ -61,6 +61,15 @@ let length t = t.n
 let epochs t = t.epoch
 let entries t = Array.sub t.log 0 t.n
 
+(* Hand the log over and drop the recorder's own references. A fuzzing
+   campaign records thousands of workloads through short-lived
+   recorders; without this, each recorder's growable buffer would pin
+   every copied payload until the whole recorder dies. *)
+let take t =
+  let es = entries t and n_epochs = t.epoch in
+  clear t;
+  (es, n_epochs)
+
 let push t e =
   if t.n = Array.length t.log then begin
     let bigger = Array.make (2 * t.n) dummy in

@@ -52,6 +52,13 @@ val entries : t -> entry array
 (** The recorded writes, in issue order. A fresh array; the [w_data]
     buffers are shared and must not be mutated. *)
 
+val take : t -> entry array * int
+(** [entries t, epochs t], then {!clear}. Ownership of the log moves to
+    the caller: the recorder drops its growable buffer, so a campaign
+    that records thousands of workloads through short-lived recorders
+    retains each write log (and its payload copies) only as long as the
+    caller keeps the returned array alive. *)
+
 val length : t -> int
 (** Number of recorded writes. *)
 

@@ -238,7 +238,25 @@ let meta_read t cls b =
         | Some d when cksum_matches t b d ->
             Bcache.invalidate t.cache b;
             Ok d
-        | Some _ | None -> Error Errno.EIO
+        | Some d when Bytes.equal d data ->
+            (* Two independent copies agree; the stored checksum is the
+               odd one out (e.g. its own in-place write was the one the
+               disk lost). Majority wins. *)
+            Klog.warn t.klog "ixt3"
+              "metadata block %d: primary and replica agree, overriding stale checksum"
+              b;
+            Ok data
+        | Some d ->
+            (* The primary is known-bad and the replica is a whole copy
+               the journal wrote, even if the stored checksum (itself
+               one in-place write) vouches for neither. A stale-but-
+               consistent version beats refusing the read. *)
+            Klog.warn t.klog "ixt3"
+              "metadata block %d: replica adopted over corrupt primary (checksum vouches for neither)"
+              b;
+            Bcache.invalidate t.cache b;
+            Ok d
+        | None -> Error Errno.EIO
       end
       else Ok data
   | Error _ -> (

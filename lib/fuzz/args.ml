@@ -1,0 +1,16 @@
+(* CLI argument validation: see args.mli. *)
+
+let positive ~what n =
+  if n >= 1 then Ok n
+  else Error (Printf.sprintf "%s must be >= 1 (got %d)" what n)
+
+let seq n =
+  if n >= 1 && n <= 3 then Ok n
+  else Error (Printf.sprintf "--seq must be 1, 2 or 3 (got %d)" n)
+
+let brand ~known name =
+  if List.mem name known then Ok name
+  else
+    Error
+      (Printf.sprintf "unknown file system %S (known: %s)" name
+         (String.concat ", " known))

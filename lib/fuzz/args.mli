@@ -1,0 +1,15 @@
+(** CLI argument validation shared by [bin/iron] and its tests.
+
+    Out-of-range numbers and unknown brand names deserve a crisp
+    one-line error and exit code 2, not an exception trace; these
+    helpers produce the messages, the CLI maps [Error] to exit 2. *)
+
+val positive : what:string -> int -> (int, string) result
+(** [Ok n] iff [n >= 1]; the message names [what] (e.g. ["--states"]). *)
+
+val seq : int -> (int, string) result
+(** [Ok n] iff [1 <= n <= 3] — the B3 bound the generator supports. *)
+
+val brand : known:string list -> string -> (string, string) result
+(** [Ok name] iff [name] is a known file-system brand; the message
+    lists the valid ones. *)

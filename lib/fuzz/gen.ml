@@ -1,0 +1,448 @@
+(* Bounded workload generation + durability oracle: see gen.mli. *)
+
+module Fs = Iron_vfs.Fs
+module Errno = Iron_vfs.Errno
+module Prng = Iron_util.Prng
+module Prov = Iron_obs.Prov
+module Explore = Iron_crash.Explore
+
+type op =
+  | Creat of string
+  | Write of string
+  | Rename of string * string
+  | Link of string * string
+  | Symlink of string * string
+  | Unlink of string
+  | Mkdir of string
+  | Rmdir of string
+  | Truncate of string
+  | Fsync of string
+  | Sync
+
+type workload = op list
+
+let dirs = [ "/d0"; "/d1" ]
+let files = [ "/f0"; "/d0/f1"; "/d1/f2" ]
+
+(* Every path a workload can name; the oracle samples all of them. *)
+let tracked = files @ dirs @ [ "/d2" ]
+
+let op_to_string = function
+  | Creat p -> "creat " ^ p
+  | Write p -> "write " ^ p
+  | Rename (a, b) -> Printf.sprintf "rename %s %s" a b
+  | Link (a, b) -> Printf.sprintf "link %s %s" a b
+  | Symlink (tgt, l) -> Printf.sprintf "symlink %s %s" tgt l
+  | Unlink p -> "unlink " ^ p
+  | Mkdir p -> "mkdir " ^ p
+  | Rmdir p -> "rmdir " ^ p
+  | Truncate p -> "truncate " ^ p
+  | Fsync p -> "fsync " ^ p
+  | Sync -> "sync"
+
+let to_string w = String.concat "; " (List.map op_to_string w)
+
+let pairs xs =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a = b then None else Some (a, b)) xs)
+    xs
+
+let alphabet : op list =
+  List.map (fun f -> Creat f) files
+  @ List.map (fun f -> Write f) files
+  @ List.map (fun (a, b) -> Rename (a, b)) (pairs files)
+  @ List.map (fun (a, b) -> Link (a, b)) (pairs files)
+  @ List.map (fun (a, b) -> Symlink (a, b)) (pairs files)
+  @ List.map (fun f -> Unlink f) files
+  @ [ Mkdir "/d2" ]
+  @ List.map (fun d -> Rmdir d) dirs
+  @ List.map (fun f -> Truncate f) files
+  @ List.map (fun f -> Fsync f) files
+  @ [ Sync ]
+
+let workloads ~seq ~seed ~samples =
+  if seq < 1 || seq > 3 then invalid_arg "Gen.workloads: seq must be 1..3";
+  let a = Array.of_list alphabet in
+  let n = Array.length a in
+  let one = List.map (fun op -> [ op ]) alphabet in
+  if seq = 1 then one
+  else
+    let two =
+      List.concat_map
+        (fun i -> List.init n (fun j -> [ a.(i); a.(j) ]))
+        (List.init n Fun.id)
+    in
+    if seq = 2 then one @ two
+    else begin
+      let rng = Prng.create (seed lxor 0xb3b3) in
+      let seen = Hashtbl.create 64 in
+      let out = ref [] and count = ref 0 and tries = ref 0 in
+      while !count < samples && !tries < (samples * 64) + 64 do
+        incr tries;
+        let i = Prng.int rng n and j = Prng.int rng n and k = Prng.int rng n in
+        if not (Hashtbl.mem seen (i, j, k)) then begin
+          Hashtbl.add seen (i, j, k) ();
+          out := [ a.(i); a.(j); a.(k) ] :: !out;
+          incr count
+        end
+      done;
+      one @ two @ List.rev !out
+    end
+
+(* Contents are deterministic, path-tagged, and big enough to span
+   more than one 4K block, so partial-data crash states are possible. *)
+let init_content path = Printf.sprintf "I|%s|%s" path (String.make 5000 'i')
+let write_content path = Printf.sprintf "W|%s|%s" path (String.make 5000 'w')
+
+let must what = function
+  | Ok _ -> ()
+  | Error e ->
+      failwith (Printf.sprintf "fuzz setup: %s: %s" what (Errno.to_string e))
+
+let setup (Fs.Boxed ((module F), t)) =
+  must "mkdir /d0" (F.mkdir t "/d0");
+  must "mkdir /d1" (F.mkdir t "/d1");
+  let put path =
+    match F.creat t path with
+    | Error e -> must ("creat " ^ path) (Error e)
+    | Ok fd ->
+        let data = Bytes.of_string (init_content path) in
+        (match F.write t fd ~off:0 data with
+        | Ok n when n = Bytes.length data -> ()
+        | Ok _ -> failwith ("fuzz setup: short write " ^ path)
+        | Error e -> must ("write " ^ path) (Error e));
+        must ("close " ^ path) (F.close t fd)
+  in
+  put "/f0";
+  put "/d0/f1";
+  must "sync" (F.sync t)
+
+(* ------------------------------------------------------------------ *)
+(* The replay model                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny in-memory model of the VFS state the workload built: a flat
+   name table (sound because every op that empties or removes a
+   directory is only applied when the file system accepted it) plus
+   per-inode content and the max epoch of data writes to it. *)
+module M = struct
+  type node = Dir | File of int | Symlink of string
+
+  type t = {
+    names : (string, node) Hashtbl.t;
+    content : (int, string) Hashtbl.t;
+    wep : (int, int) Hashtbl.t;
+    aliased : (int, unit) Hashtbl.t;
+        (* inodes that ever changed name or gained a second one: in a
+           partial crash state the disk may still reach them through a
+           dirent the model no longer has, so writes under one name can
+           surface as content under another. *)
+    mutable next : int;
+  }
+
+  let create () =
+    let m =
+      {
+        names = Hashtbl.create 16;
+        content = Hashtbl.create 16;
+        wep = Hashtbl.create 16;
+        aliased = Hashtbl.create 4;
+        next = 0;
+      }
+    in
+    List.iter (fun d -> Hashtbl.replace m.names d Dir) dirs;
+    List.iter
+      (fun p ->
+        let ino = m.next in
+        m.next <- ino + 1;
+        Hashtbl.replace m.names p (File ino);
+        Hashtbl.replace m.content ino (init_content p))
+      [ "/f0"; "/d0/f1" ];
+    m
+
+  let rec resolve ?(depth = 0) m p =
+    if depth > 8 then None
+    else
+      match Hashtbl.find_opt m.names p with
+      | Some (Symlink tgt) -> resolve ~depth:(depth + 1) m tgt
+      | other -> other
+
+  (* write at offset 0: the tail of a longer old content survives. *)
+  let overwrite old data =
+    let ld = String.length data and lo = String.length old in
+    if ld >= lo then data else data ^ String.sub old ld (lo - ld)
+
+  let apply m op ~wep =
+    match op with
+    | Creat p ->
+        let ino = m.next in
+        m.next <- ino + 1;
+        Hashtbl.replace m.names p (File ino);
+        Hashtbl.replace m.content ino ""
+    | Write p -> (
+        match resolve m p with
+        | Some (File ino) ->
+            let old =
+              Option.value ~default:"" (Hashtbl.find_opt m.content ino)
+            in
+            Hashtbl.replace m.content ino (overwrite old (write_content p));
+            let prev =
+              Option.value ~default:(-1) (Hashtbl.find_opt m.wep ino)
+            in
+            if wep > prev then Hashtbl.replace m.wep ino wep
+        | _ -> ())
+    | Rename (a, b) -> (
+        match Hashtbl.find_opt m.names a with
+        | None -> ()
+        | Some node ->
+            (match node with
+            | File ino -> Hashtbl.replace m.aliased ino ()
+            | Dir | Symlink _ -> ());
+            (match Hashtbl.find_opt m.names b with
+            | Some (File old) -> Hashtbl.replace m.aliased old ()
+            | _ -> ());
+            Hashtbl.remove m.names a;
+            Hashtbl.replace m.names b node)
+    | Link (a, b) -> (
+        match resolve m a with
+        | Some (File ino as node) ->
+            Hashtbl.replace m.aliased ino ();
+            (match Hashtbl.find_opt m.names b with
+            | Some (File old) -> Hashtbl.replace m.aliased old ()
+            | _ -> ());
+            Hashtbl.replace m.names b node
+        | _ -> ())
+    | Symlink (tgt, l) -> Hashtbl.replace m.names l (Symlink tgt)
+    | Unlink p -> Hashtbl.remove m.names p
+    | Mkdir p -> Hashtbl.replace m.names p Dir
+    | Rmdir p -> Hashtbl.remove m.names p
+    | Truncate p -> (
+        match resolve m p with
+        | Some (File ino) -> Hashtbl.replace m.content ino ""
+        | _ -> ())
+    | Fsync _ | Sync -> ()
+
+  (* What stat-visibility says about a path: (exists, content, wep,
+     ino). Dangling symlinks count as absent — exactly what [stat]
+     sees. *)
+  let observe m p =
+    match resolve m p with
+    | None | Some (Symlink _) -> (false, None, -1, None)
+    | Some Dir -> (true, None, -1, None)
+    | Some (File ino) ->
+        ( true,
+          Some (Option.value ~default:"" (Hashtbl.find_opt m.content ino)),
+          Option.value ~default:(-1) (Hashtbl.find_opt m.wep ino),
+          Some ino )
+end
+
+(* A sample whose op has not yet been covered by an epoch-closing
+   barrier: durable never, until a later fsync/sync promotes it. *)
+let pending = max_int
+
+type sample = {
+  mutable sp_dur : int;
+  sp_exists : bool;
+  sp_content : string option;
+  sp_wep : int;
+  sp_ino : int option;
+}
+
+type replay = {
+  rp_paths : (string * sample list) list;
+  rp_aliased : (int, unit) Hashtbl.t;
+}
+
+type tracker = {
+  model : M.t;
+  samples : (string, sample list ref) Hashtbl.t;  (* newest first *)
+}
+
+let sample_path tr ~dur p =
+  let exists, content, wep, ino = M.observe tr.model p in
+  let r = Hashtbl.find tr.samples p in
+  r :=
+    {
+      sp_dur = dur;
+      sp_exists = exists;
+      sp_content = content;
+      sp_wep = wep;
+      sp_ino = ino;
+    }
+    :: !r
+
+let tracker () =
+  let tr = { model = M.create (); samples = Hashtbl.create 8 } in
+  List.iter (fun p -> Hashtbl.replace tr.samples p (ref [])) tracked;
+  List.iter (sample_path tr ~dur:(-1)) tracked;
+  tr
+
+let replay tr =
+  {
+    rp_paths = List.map (fun p -> (p, List.rev !(Hashtbl.find tr.samples p))) tracked;
+    rp_aliased = tr.model.M.aliased;
+  }
+
+let ok_unit = function Ok () -> true | Error _ -> false
+
+let exec (type a) (module F : Fs.S with type t = a) (t : a) = function
+  | Creat p -> (
+      match F.creat t p with
+      | Ok fd ->
+          ignore (F.close t fd);
+          true
+      | Error _ -> false)
+  | Write p -> (
+      match F.open_ t p Fs.Wr with
+      | Error _ -> false
+      | Ok fd ->
+          let data = Bytes.of_string (write_content p) in
+          let ok =
+            match F.write t fd ~off:0 data with
+            | Ok n -> n = Bytes.length data
+            | Error _ -> false
+          in
+          ignore (F.close t fd);
+          ok)
+  | Rename (a, b) -> ok_unit (F.rename t a b)
+  | Link (a, b) -> ok_unit (F.link t a b)
+  | Symlink (tgt, l) -> ok_unit (F.symlink t tgt l)
+  | Unlink p -> ok_unit (F.unlink t p)
+  | Mkdir p -> ok_unit (F.mkdir t p)
+  | Rmdir p -> ok_unit (F.rmdir t p)
+  | Truncate p -> ok_unit (F.truncate t p 0)
+  | Fsync p -> (
+      match F.open_ t p Fs.Rd with
+      | Error _ -> false
+      | Ok fd ->
+          let ok = ok_unit (F.fsync t fd) in
+          ignore (F.close t fd);
+          ok)
+  | Sync -> ok_unit (F.sync t)
+
+let run (Fs.Boxed ((module F), t)) ~closed_epochs tr (w : workload) =
+  List.iteri
+    (fun k op ->
+      Prov.with_op k (op_to_string op) (fun () ->
+          let ep_before = closed_epochs () in
+          let ok = exec (module F) t op in
+          let ep_after = closed_epochs () in
+          if ok then begin
+            M.apply tr.model op ~wep:ep_after;
+            (* A buffered op writes nothing by itself: its journal
+               commit lands in whatever epoch the NEXT barrier closes,
+               so it stays pending until an epoch-closing fsync/sync
+               retroactively promotes it. The promoting barrier's last
+               act is closing the epoch its commit (and checkpoint)
+               writes landed in, so everything it covered is durable
+               once epochs < ep_after persist — i.e. dur = ep_after-1.
+               A sync that closed nothing flushed nothing and promises
+               nothing; a non-sync op that happened to trigger an
+               eager flush promotes nothing either (we cannot know
+               which of its writes the flush covered). *)
+            let dur =
+              match op with
+              | (Fsync _ | Sync) when ep_after > ep_before ->
+                  let d = ep_after - 1 in
+                  Hashtbl.iter
+                    (fun _ r ->
+                      List.iter
+                        (fun s -> if s.sp_dur = pending then s.sp_dur <- d)
+                        !r)
+                    tr.samples;
+                  d
+              | _ -> pending
+            in
+            List.iter (sample_path tr ~dur) tracked
+          end))
+    w
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let expects ?(lying = false) replay ~epoch:e =
+  let aliased = function
+    | Some ino -> Hashtbl.mem replay.rp_aliased ino
+    | None -> false
+  in
+  List.map
+    (fun (path, samples) ->
+      let fix = List.hd samples in
+      (* A lying write-back cache can persist any per-block subset of
+         the log, mixing versions across blocks in ways no op-boundary
+         mixture explains (e.g. every copy of a new dirent dropped
+         while the inode-table write freeing the old target stuck).
+         Only paths the workload never mutated keep their fixture
+         guarantee there. *)
+      let untouched =
+        List.for_all
+          (fun s ->
+            s.sp_exists = fix.sp_exists
+            && s.sp_ino = fix.sp_ino
+            && s.sp_content = fix.sp_content
+            && s.sp_wep < 0)
+          samples
+      in
+      if lying then
+        if untouched then
+          {
+            Explore.ex_path = path;
+            ex_presence = (if fix.sp_exists then `Present else `Absent);
+            ex_allowed =
+              (if fix.sp_exists then Option.map (fun c -> [ c ]) fix.sp_content
+               else None);
+          }
+        else { Explore.ex_path = path; ex_presence = `Any; ex_allowed = None }
+      else begin
+      (* Last sample whose op is fully persisted at E, vs. the ops
+         that may have landed partially. *)
+      let durable = ref (List.hd samples) in
+      let volatile = ref [] in
+      List.iter
+        (fun s -> if s.sp_dur < e then durable := s else volatile := s :: !volatile)
+        samples;
+      let d = !durable and vol = List.rev !volatile in
+      if vol = [] then
+        {
+          Explore.ex_path = path;
+          ex_presence = (if d.sp_exists then `Present else `Absent);
+          ex_allowed =
+            (if d.sp_exists then Option.map (fun c -> [ c ]) d.sp_content
+             else None);
+        }
+      else begin
+        (* Presence is journaled metadata: a crash lands on some op
+           boundary, so it is pinned only when every in-flight op
+           agrees with the durable state. *)
+        let presence =
+          if d.sp_exists && List.for_all (fun s -> s.sp_exists) vol then
+            `Present
+          else if
+            (not d.sp_exists) && List.for_all (fun s -> not s.sp_exists) vol
+          then `Absent
+          else `Any
+        in
+        let cand = List.filter (fun s -> s.sp_exists) (d :: vol) in
+        (* Content must match some op-boundary snapshot — unless any
+           snapshot rests on data writes that were still un-synced at
+           E (a torn overwrite is legal then), the path is ever a
+           directory, or its inode is aliased (a stale on-disk dirent
+           can expose writes made under the other name). *)
+        let unreliable =
+          List.exists
+            (fun s ->
+              s.sp_content = None || s.sp_wep >= e || aliased s.sp_ino)
+            cand
+        in
+        let allowed =
+          if cand = [] || unreliable then None
+          else
+            Some
+              (List.sort_uniq String.compare
+                 (List.filter_map (fun s -> s.sp_content) cand))
+        in
+        { Explore.ex_path = path; ex_presence = presence; ex_allowed = allowed }
+      end
+      end)
+    replay.rp_paths

@@ -280,6 +280,11 @@ let checkpoint t =
   Hashtbl.iter (fun _ old -> release t old) t.pending;
   Hashtbl.reset t.pending;
   t.pending_order <- [];
+  (* The home-location writes must be durable before the log tail
+     advances: a crash persisting the cleaned superblock while a
+     checkpoint write was still in flight would have no replay path
+     (jbd waits on checkpoint I/O before cleanup_journal_tail). *)
+  ignore (t.cfg.dev.Dev.sync ());
   t.jhead <- t.cfg.geo.jfirst;
   ignore (write_jsuper t);
   ignore (t.cfg.dev.Dev.sync ())
@@ -575,6 +580,9 @@ let recover ~tag ~iron ~geo ~dev ~klog ?jsb_fallback ?refresh_replica () =
     let last_seq =
       match List.rev txns with (s, _) :: _ -> s + 1 | [] -> jsb.Jrec.sequence
     in
+    (* Replayed home writes must be durable before the log declares
+       itself clean — the same ordering rule as [checkpoint]. *)
+    ignore (dev.Dev.sync ());
     let buf = Bytes.make bs '\000' in
     Jrec.encode_jsuper { Jrec.sequence = last_seq; start = geo.jfirst } buf;
     (match Prov.with_role "jsb" (fun () -> dev.Dev.write geo.jsb buf) with
@@ -895,6 +903,9 @@ module Record = struct
       (List.sort compare (List.rev t.overlay_order));
     Hashtbl.reset t.overlay;
     t.overlay_order <- [];
+    (* As in the block engine: overlay write-back must be durable
+       before the tail (txid fence) advances past it. *)
+    ignore (t.dev.Dev.sync ());
     t.jpos <- t.geo.jfirst;
     t.txid <- t.txid + 1;
     write_jsuper t;
@@ -1013,6 +1024,8 @@ module Record = struct
     in
     if records <> [] then
       Klog.info klog tag "journal: replayed %d records" (List.length records);
+    (* Replayed writes durable before the txid fence advances. *)
+    ignore (dev.Dev.sync ());
     let js = Bytes.make dev.Dev.block_size '\000' in
     encode_jsuper (txid + 1) geo.jfirst js;
     (match Prov.with_role "jsb" (fun () -> dev.Dev.write geo.jsb js) with

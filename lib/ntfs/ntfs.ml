@@ -246,6 +246,23 @@ let encode_log_commit t seq =
   Codec.put_u32 w seq;
   buf
 
+let decode_log_desc buf =
+  try
+    let r = Codec.reader buf in
+    if Codec.get_u32 r <> log_desc_magic then None
+    else
+      let seq = Codec.get_u32 r in
+      let count = Codec.get_u32 r in
+      if count > (Bytes.length buf - 12) / 4 then None
+      else Some (seq, List.init count (fun _ -> Codec.get_u32 r))
+  with Codec.Decode_error _ -> None
+
+let decode_log_commit buf =
+  try
+    let r = Codec.reader buf in
+    if Codec.get_u32 r <> log_commit_magic then None else Some (Codec.get_u32 r)
+  with Codec.Decode_error _ -> None
+
 let checkpoint t =
   List.iter
     (fun b ->
@@ -262,6 +279,15 @@ let checkpoint t =
     (List.sort compare (List.rev t.txn_order));
   Hashtbl.reset t.txn;
   t.txn_order <- [];
+  (* The home writes must be durable before the restart area erases the
+     transaction: a crash persisting the cleared log ahead of an
+     in-flight home write would have no redo path. A crash the other way
+     round only re-replays the transaction, which is idempotent. *)
+  ignore (t.dev.Dev.sync ());
+  ignore
+    (retried_write t logfile_start
+       (Bytes.make t.bs '\000')
+       ~attempts:mft_write_attempts ~what:"logfile restart");
   t.lpos <- logfile_start
 
 let commit t =
@@ -561,8 +587,54 @@ let mkfs_impl dev =
   let* () = wr volume_bitmap_block vb in
   match dev.Dev.sync () with Ok () -> Ok () | Error _ -> Error Errno.EIO
 
+(* $LogFile redo pass. NTFS replays committed log records at mount, so a
+   crash that persisted a transaction's commit record while its home
+   writes were still in flight loses nothing. The scan mirrors what
+   [commit] lays down — desc, copies, commit — chained by sequence
+   number from the start of the logfile (checkpoints rewind the write
+   position there, so the latest transaction always leads). *)
+let recover_log dev klog =
+  let lend = logfile_start + logfile_len in
+  let txns = ref [] in
+  let rec scan pos seq =
+    if pos < lend then
+      match dev.Dev.read pos with
+      | Error _ -> ()
+      | Ok buf -> (
+          match decode_log_desc buf with
+          | Some (s, tags) when seq < 0 || s = seq -> (
+              let count = List.length tags in
+              let copies = List.init count (fun i -> dev.Dev.read (pos + 1 + i)) in
+              if List.exists Result.is_error copies then ()
+              else
+                match dev.Dev.read (pos + 1 + count) with
+                | Ok cbuf when decode_log_commit cbuf = Some s ->
+                    txns :=
+                      List.combine tags (List.map Result.get_ok copies) :: !txns;
+                    scan (pos + 2 + count) (s + 1)
+                | Ok _ | Error _ -> ())
+          | Some _ | None -> ())
+  in
+  scan logfile_start (-1);
+  let txns = List.rev !txns in
+  List.iter
+    (fun blocks ->
+      List.iter
+        (fun (home, copy) ->
+          if home < dev.Dev.num_blocks then
+            match dev.Dev.write home copy with
+            | Ok () -> ()
+            | Error _ -> Klog.error klog "ntfs" "log replay write failed")
+        blocks)
+    txns;
+  if txns <> [] then begin
+    Klog.info klog "ntfs" "logfile: replayed %d transactions" (List.length txns);
+    ignore (dev.Dev.sync ())
+  end
+
 let mount_impl dev =
   let klog = Klog.create ~clock:dev.Dev.now () in
+  recover_log dev klog;
   (* Boot file then the first MFT block: corrupt metadata means an
      unmountable volume (§5.4). Reads get the NTFS retry treatment. *)
   let retried b =

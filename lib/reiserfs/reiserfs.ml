@@ -186,6 +186,10 @@ let checkpoint t =
     (List.sort compare (List.rev t.pending_order));
   Hashtbl.reset t.pending;
   t.pending_order <- [];
+  (* The home-location writes must be durable before the journal header
+     truncates the log: a crash that persisted the advanced header while
+     a checkpoint write was still in flight would have no replay path. *)
+  ignore (t.dev.Dev.sync ());
   t.jhead <- journal_start + 1;
   must_write t journal_start (encode_jheader t t.jseq t.jhead) "journal header";
   ignore (t.dev.Dev.sync ())
@@ -326,6 +330,12 @@ let write_node t b node =
    (block, node, child_index) from root to leaf, leaf last. *)
 let descend t ?retry key =
   let rec go b acc =
+    (* Journal replay installs stale block images without content checks
+       (§5.2), so an internal node can end up pointing back up the path
+       — an unbounded traversal without this check. A cycle is a sanity
+       failure like a bad header: ReiserFS panics. *)
+    if List.exists (fun (b', _, _) -> b' = b) acc then
+      Klog.panic t.klog "reiserfs" "cycle in tree at block %d (sanity check failed)" b;
     let* node = read_node t ?retry b in
     match node with
     | Rnode.Leaf _ -> Ok ((b, node, 0) :: acc)

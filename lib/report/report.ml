@@ -119,6 +119,31 @@ type rule = {
 
 type thresholds = { rules : rule list }
 
+type fuzz_case = {
+  z_index : int;
+  z_workload : string;
+  z_minimized : string;
+  z_checked : int;
+  z_violations : int;
+  z_first : crash_violation list;
+}
+
+type fuzz = {
+  z_fs : string;
+  z_seq : int;
+  z_seed : int;
+  z_cap : int;
+  z_workloads : int;
+  z_log_writes : int;
+  z_states_raw : int;
+  z_states : int;
+  z_violations : int;
+  z_tc : int;
+  z_kinds : (string * int) list;
+  z_corpus : string;
+  z_cases : fuzz_case list;
+}
+
 type t =
   | Fingerprint of fingerprint
   | Crash of crash
@@ -126,6 +151,7 @@ type t =
   | Metrics of metrics_set
   | Bench of bench
   | Thresholds of thresholds
+  | Fuzz of fuzz
 
 let kind_name = function
   | Fingerprint _ -> "fingerprint"
@@ -134,6 +160,7 @@ let kind_name = function
   | Metrics _ -> "metrics"
   | Bench _ -> "bench"
   | Thresholds _ -> "bench-thresholds"
+  | Fuzz _ -> "fuzz"
 
 let filename = function
   | Fingerprint f -> Printf.sprintf "fingerprint-%s.json" f.fp_fs
@@ -142,6 +169,7 @@ let filename = function
   | Metrics m -> Printf.sprintf "metrics-%s.json" m.m_name
   | Bench _ -> "bench.json"
   | Thresholds _ -> "bench-thresholds.json"
+  | Fuzz z -> Printf.sprintf "fuzz-%s.json" z.z_fs
 
 (* ------------------------------------------------------------------ *)
 (* Builders                                                            *)
@@ -294,6 +322,42 @@ let metrics_of_snapshot snap =
     snap
 
 let bench_of_records records = Bench { records }
+
+(* The fuzz artifact keeps the campaign's deterministic identity: the
+   corpus digest pins every crash state checked, the cases pin every
+   violating workload with its minimized form. Chains stay out — the
+   goldens are regenerated without [--explain]. *)
+let of_fuzz (r : Iron_fuzz.Fuzz.report) =
+  Fuzz
+    {
+      z_fs = r.Iron_fuzz.Fuzz.fz_fs;
+      z_seq = r.Iron_fuzz.Fuzz.fz_seq;
+      z_seed = r.Iron_fuzz.Fuzz.fz_seed;
+      z_cap = r.Iron_fuzz.Fuzz.fz_cap;
+      z_workloads = r.Iron_fuzz.Fuzz.fz_workloads;
+      z_log_writes = r.Iron_fuzz.Fuzz.fz_log_writes;
+      z_states_raw = r.Iron_fuzz.Fuzz.fz_states_raw;
+      z_states = r.Iron_fuzz.Fuzz.fz_states;
+      z_violations = r.Iron_fuzz.Fuzz.fz_violations;
+      z_tc = r.Iron_fuzz.Fuzz.fz_tc;
+      z_kinds = r.Iron_fuzz.Fuzz.fz_kinds;
+      z_corpus = r.Iron_fuzz.Fuzz.fz_corpus;
+      z_cases =
+        List.map
+          (fun (c : Iron_fuzz.Fuzz.case) ->
+            {
+              z_index = c.Iron_fuzz.Fuzz.cs_index;
+              z_workload = c.Iron_fuzz.Fuzz.cs_workload;
+              z_minimized = c.Iron_fuzz.Fuzz.cs_minimized;
+              z_checked = c.Iron_fuzz.Fuzz.cs_checked;
+              z_violations = c.Iron_fuzz.Fuzz.cs_violations;
+              z_first =
+                List.map
+                  (fun (state, v_kind, detail) -> { state; v_kind; detail })
+                  c.Iron_fuzz.Fuzz.cs_first;
+            })
+          r.Iron_fuzz.Fuzz.fz_cases;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -450,6 +514,47 @@ let json_of t =
                          ("metrics", json_counters r.metrics);
                        ])
                    b.records) );
+          ])
+  | Fuzz z ->
+      Json.Assoc
+        (head "fuzz"
+        @ [
+            ("fs", Json.String z.z_fs);
+            ("seq", Json.Int z.z_seq);
+            ("seed", Json.Int z.z_seed);
+            ("cap", Json.Int z.z_cap);
+            ("workloads", Json.Int z.z_workloads);
+            ("log_writes", Json.Int z.z_log_writes);
+            ("states_raw", Json.Int z.z_states_raw);
+            ("states", Json.Int z.z_states);
+            ("violations", Json.Int z.z_violations);
+            ("tc_detected", Json.Int z.z_tc);
+            ("counts", json_counters z.z_kinds);
+            ("corpus", Json.String z.z_corpus);
+            ( "cases",
+              Json.List
+                (List.map
+                   (fun c ->
+                     Json.Assoc
+                       [
+                         ("index", Json.Int c.z_index);
+                         ("workload", Json.String c.z_workload);
+                         ("minimized", Json.String c.z_minimized);
+                         ("checked", Json.Int c.z_checked);
+                         ("violations", Json.Int c.z_violations);
+                         ( "first",
+                           Json.List
+                             (List.map
+                                (fun v ->
+                                  Json.Assoc
+                                    [
+                                      ("state", Json.String v.state);
+                                      ("kind", Json.String v.v_kind);
+                                      ("detail", Json.String v.detail);
+                                    ])
+                                c.z_first) );
+                       ])
+                   z.z_cases) );
           ])
   | Thresholds th ->
       Json.Assoc
@@ -729,6 +834,62 @@ let thresholds_of j =
   in
   Ok (Thresholds { rules })
 
+let fuzz_of j =
+  let* z_fs = Json.mem_str "fs" j in
+  let* z_seq = Json.mem_int "seq" j in
+  let* z_seed = Json.mem_int "seed" j in
+  let* z_cap = Json.mem_int "cap" j in
+  let* z_workloads = Json.mem_int "workloads" j in
+  let* z_log_writes = Json.mem_int "log_writes" j in
+  let* z_states_raw = Json.mem_int "states_raw" j in
+  let* z_states = Json.mem_int "states" j in
+  let* z_violations = Json.mem_int "violations" j in
+  let* z_tc = Json.mem_int "tc_detected" j in
+  let* z_kinds =
+    let* m = Json.member "counts" j in
+    counters_of m
+  in
+  let* z_corpus = Json.mem_str "corpus" j in
+  let* z_cases =
+    let* m = Json.mem_list "cases" j in
+    map_result
+      (fun c ->
+        let* z_index = Json.mem_int "index" c in
+        let* z_workload = Json.mem_str "workload" c in
+        let* z_minimized = Json.mem_str "minimized" c in
+        let* z_checked = Json.mem_int "checked" c in
+        let* z_violations = Json.mem_int "violations" c in
+        let* z_first =
+          let* vs = Json.mem_list "first" c in
+          map_result
+            (fun v ->
+              let* state = Json.mem_str "state" v in
+              let* v_kind = Json.mem_str "kind" v in
+              let* detail = Json.mem_str "detail" v in
+              Ok { state; v_kind; detail })
+            vs
+        in
+        Ok { z_index; z_workload; z_minimized; z_checked; z_violations; z_first })
+      m
+  in
+  Ok
+    (Fuzz
+       {
+         z_fs;
+         z_seq;
+         z_seed;
+         z_cap;
+         z_workloads;
+         z_log_writes;
+         z_states_raw;
+         z_states;
+         z_violations;
+         z_tc;
+         z_kinds;
+         z_corpus;
+         z_cases;
+       })
+
 let of_string s =
   let* j = Json.of_string s in
   let* version = Json.mem_int "schema_version" j in
@@ -745,6 +906,7 @@ let of_string s =
     | "metrics" -> metrics_of j
     | "bench" -> bench_of j
     | "bench-thresholds" -> thresholds_of j
+    | "fuzz" -> fuzz_of j
     | k -> Error (Printf.sprintf "unknown artifact kind %S" k)
 
 let save path t =
@@ -775,6 +937,7 @@ let is_exact_metric name =
   in
   suffix ".states" || suffix ".violations" || suffix ".tc_detected"
   || suffix ".chains" || suffix ".culprits" || suffix ".probes"
+  || suffix ".workloads" || suffix ".log_writes"
   || name = "jobs"
 
 let item path golden fresh = { path; golden; fresh }
@@ -1112,6 +1275,55 @@ let check_thresholds th b =
             ])
     th.rules
 
+(* Fuzz campaigns are deterministic by construction: exact, cell-level
+   comparison, case lists keyed element-wise like crash violations. *)
+let diff_fuzz g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let pre = "fuzz/" ^ g.z_fs in
+  let scalar name gv fv =
+    if gv <> fv then
+      push (item (pre ^ "/" ^ name) (string_of_int gv) (string_of_int fv))
+  in
+  if g.z_fs <> f.z_fs then push (item (pre ^ "/fs") g.z_fs f.z_fs);
+  scalar "seq" g.z_seq f.z_seq;
+  scalar "seed" g.z_seed f.z_seed;
+  scalar "cap" g.z_cap f.z_cap;
+  scalar "workloads" g.z_workloads f.z_workloads;
+  scalar "log_writes" g.z_log_writes f.z_log_writes;
+  scalar "states_raw" g.z_states_raw f.z_states_raw;
+  scalar "states" g.z_states f.z_states;
+  scalar "violations" g.z_violations f.z_violations;
+  scalar "tc_detected" g.z_tc f.z_tc;
+  List.iter push (diff_counters (pre ^ "/counts") g.z_kinds f.z_kinds);
+  if g.z_corpus <> f.z_corpus then
+    push (item (pre ^ "/corpus") g.z_corpus f.z_corpus);
+  let gn = List.length g.z_cases and fn = List.length f.z_cases in
+  if gn <> fn then
+    push
+      (item (pre ^ "/cases")
+         (Printf.sprintf "%d cases" gn)
+         (Printf.sprintf "%d cases" fn));
+  let shown = ref 0 in
+  List.iteri
+    (fun i gc ->
+      match List.nth_opt f.z_cases i with
+      | Some fc when gc <> fc && !shown < 20 ->
+          incr shown;
+          let show c =
+            Printf.sprintf "[w%04d] %s (min: %s) %d violations in %d states%s"
+              c.z_index c.z_workload c.z_minimized c.z_violations c.z_checked
+              (String.concat ""
+                 (List.map
+                    (fun v ->
+                      Printf.sprintf "; [%s] %s: %s" v.v_kind v.state v.detail)
+                    c.z_first))
+          in
+          push (item (Printf.sprintf "%s/cases[%d]" pre i) (show gc) (show fc))
+      | _ -> ())
+    g.z_cases;
+  List.rev !items
+
 let diff ?(timing_tol = default_timing_tol) golden fresh =
   match (golden, fresh) with
   | Fingerprint g, Fingerprint f -> Ok (diff_fingerprint g f)
@@ -1119,6 +1331,7 @@ let diff ?(timing_tol = default_timing_tol) golden fresh =
   | Forensics g, Forensics f -> Ok (diff_forensics g f)
   | Metrics g, Metrics f -> Ok (diff_metrics g f)
   | Bench g, Bench f -> Ok (diff_bench ~timing_tol g f)
+  | Fuzz g, Fuzz f -> Ok (diff_fuzz g f)
   | Thresholds th, Bench b -> Ok (check_thresholds th b)
   | g, f ->
       Error

@@ -156,6 +156,34 @@ type rule = {
 
 type thresholds = { rules : rule list }
 
+(** One violating workload of a fuzzing campaign, with its minimized
+    form. Mirrors {!Iron_fuzz.Fuzz.case} minus the forensic chains
+    (goldens are regenerated without [--explain]). *)
+type fuzz_case = {
+  z_index : int;
+  z_workload : string;
+  z_minimized : string;
+  z_checked : int;
+  z_violations : int;
+  z_first : crash_violation list;
+}
+
+type fuzz = {
+  z_fs : string;
+  z_seq : int;
+  z_seed : int;
+  z_cap : int;  (** states-per-workload bound *)
+  z_workloads : int;
+  z_log_writes : int;
+  z_states_raw : int;
+  z_states : int;  (** deduped states materialized and checked *)
+  z_violations : int;
+  z_tc : int;
+  z_kinds : (string * int) list;
+  z_corpus : string;  (** hex SHA-1 of the sorted state-digest corpus *)
+  z_cases : fuzz_case list;
+}
+
 type t =
   | Fingerprint of fingerprint
   | Crash of crash
@@ -163,15 +191,17 @@ type t =
   | Metrics of metrics_set
   | Bench of bench
   | Thresholds of thresholds
+  | Fuzz of fuzz
 
 val kind_name : t -> string
 (** ["fingerprint"] | ["crash"] | ["forensics"] | ["metrics"] |
-    ["bench"] | ["bench-thresholds"]. *)
+    ["bench"] | ["bench-thresholds"] | ["fuzz"]. *)
 
 val filename : t -> string
 (** Canonical basename for an artifact directory:
     [fingerprint-<fs>.json], [crash-<fs>.json], [forensics-<fs>.json],
-    [metrics-<name>.json], [bench.json], [bench-thresholds.json]. *)
+    [metrics-<name>.json], [bench.json], [bench-thresholds.json],
+    [fuzz-<fs>.json]. *)
 
 (** {1 Builders} *)
 
@@ -200,6 +230,12 @@ val metrics_of_snapshot : Iron_obs.Obs.snapshot -> (string * int) list
     are path-sorted). *)
 
 val bench_of_records : bench_record list -> t
+
+val of_fuzz : Iron_fuzz.Fuzz.report -> t
+(** Capture a fuzzing campaign: the corpus digest pins every deduped
+    crash state, the cases pin every violating workload with its
+    minimized op subsequence. Deterministic by the campaign's
+    contract, so the artifact compares exactly. *)
 
 (** {1 Encoding}
 

@@ -139,6 +139,51 @@ let test_ext3_vs_ixt3 () =
   check Alcotest.bool "ixt3's Tc refused reordered commits" true
     (ix.Explore.tc_detected >= 1)
 
+let test_checkpoint_tail_advance () =
+  (* Regression (found by the B3 fuzzer): the journal must not advance
+     its tail — write the cleaned superblock — in the same barrier
+     epoch as its checkpoint in-place writes. A crash that persists
+     the superblock while dropping a checkpoint write would have no
+     replay path: the log says clean, the home location is stale.
+     Property: every barrier-honouring crash state (an epoch window,
+     not the lying-cache "all" window) with E >= 1 recovers
+     fsck-clean. *)
+  List.iter
+    (fun (name, brand) ->
+      let params =
+        { Memdisk.default_params with Memdisk.num_blocks = 2048; seed = 99 }
+      in
+      let base = Explore.make_base ~params ~setup:(fun _ -> ()) brand in
+      let session =
+        Explore.record_session ~params ~base
+          ~ops:(fun (Fs.Boxed ((module F), t)) ~closed_epochs:_ ->
+            (match F.creat t "/victim" with
+            | Ok fd -> ignore (F.close t fd)
+            | Error _ -> Alcotest.fail "creat /victim");
+            match F.sync t with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "sync")
+          brand
+      in
+      let specs = Explore.enumerate_session ~seed:5 ~max_states:400 session in
+      let expects ~epoch:_ = [] in
+      List.iter
+        (fun spec ->
+          let label = Explore.spec_label spec in
+          if String.length label > 0 && label.[0] = 'e'
+             && Explore.spec_epoch session spec >= 1
+          then
+            let o =
+              Explore.check_spec ~params ~brand ~fsck:true ~expects session spec
+            in
+            match o.Explore.viol with
+            | None -> ()
+            | Some (k, d) ->
+                Alcotest.failf "%s: %s: %s: %s" name (Explore.spec_label spec)
+                  (Explore.kind_to_string k) d)
+        specs)
+    [ ("ext3", Iron_ext3.Ext3.std); ("ixt3", Iron_ext3.Ext3.ixt3) ]
+
 let test_jobs_deterministic () =
   (* Every journaling brand, including the ext3 commit-mode variants:
      exploring with one worker and with three must produce the same
@@ -261,6 +306,8 @@ let suites =
           test_ext3_vs_ixt3;
         Alcotest.test_case "-j cannot change the report" `Slow
           test_jobs_deterministic;
+        Alcotest.test_case "checkpoint precedes the log-tail advance" `Quick
+          test_checkpoint_tail_advance;
       ] );
     ( "crash.forensics",
       [

@@ -299,14 +299,61 @@ let gen_metrics =
           { Report.m_name = name; m_seed = seed; m_metrics = metrics })
       (pair (pair gen_string (int_bound 1000000)) gen_counters))
 
+let gen_fuzz =
+  QCheck.Gen.(
+    map
+      (fun ((fs, seed, corpus), ((seq, cap, n), (kinds, cases))) ->
+        Report.Fuzz
+          {
+            Report.z_fs = fs;
+            z_seq = 1 + (seq mod 3);
+            z_seed = seed;
+            z_cap = 1 + cap;
+            z_workloads = n;
+            z_log_writes = 2 * n;
+            z_states_raw = 3 * n;
+            z_states = n;
+            z_violations = List.length cases;
+            z_tc = n mod 7;
+            z_kinds = kinds;
+            z_corpus = corpus;
+            z_cases =
+              List.mapi
+                (fun i ((w, m), (c, firsts)) ->
+                  {
+                    Report.z_index = i;
+                    z_workload = w;
+                    z_minimized = m;
+                    z_checked = c;
+                    z_violations = List.length firsts;
+                    z_first =
+                      List.map
+                        (fun (st, (k, d)) ->
+                          { Report.state = st; v_kind = k; detail = d })
+                        firsts;
+                  })
+                cases;
+          })
+      (pair
+         (triple gen_string (int_bound 1000000) gen_string)
+         (pair
+            (triple (int_bound 2) (int_bound 500) (int_bound 2000))
+            (pair gen_counters
+               (small_list
+                  (pair (pair gen_string gen_string)
+                     (pair (int_bound 300)
+                        (small_list
+                           (pair gen_string (pair gen_string gen_string))))))))))
+
 let gen_artifact =
   QCheck.Gen.(
-    int_bound 5 >>= function
+    int_bound 6 >>= function
     | 0 -> gen_fingerprint
     | 1 -> gen_crash
     | 2 -> gen_bench
     | 3 -> gen_forensics
     | 4 -> gen_metrics
+    | 5 -> gen_fuzz
     | _ -> gen_thresholds)
 
 let arb_artifact =
@@ -637,6 +684,19 @@ let test_campaign_round_trip () =
         (List.length (diff_ok art art'))
   | Error e -> Alcotest.fail e
 
+let test_fuzz_round_trip () =
+  (* End to end for the fuzz kind: a real (tiny, seq-1) campaign's
+     artifact survives the codec unchanged and diffs empty. *)
+  let art = Report.of_fuzz (Iron_fuzz.Fuzz.campaign ~seq:1 Iron_ext3.Ext3.std) in
+  check Alcotest.string "filename is brand-keyed" "fuzz-ext3.json"
+    (Report.filename art);
+  match Report.of_string (Report.to_string art) with
+  | Ok art' ->
+      check Alcotest.bool "fuzz artifact round-trips" true (art = art');
+      check Alcotest.int "round-trip diffs empty" 0
+        (List.length (diff_ok art art'))
+  | Error e -> Alcotest.fail e
+
 let test_campaign_single_cell_perturbation () =
   (* The acceptance property of the whole subsystem: flip ONE policy
      cell in a real fingerprint and the diff must fail, naming it. *)
@@ -723,6 +783,8 @@ let suites =
       [
         Alcotest.test_case "real artifact round-trips" `Quick
           test_campaign_round_trip;
+        Alcotest.test_case "real fuzz artifact round-trips" `Quick
+          test_fuzz_round_trip;
         Alcotest.test_case "single flipped cell fails the gate" `Quick
           test_campaign_single_cell_perturbation;
       ] );
