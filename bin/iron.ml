@@ -524,6 +524,116 @@ let fuzz_cmd =
     Term.(const run $ fs_str_args $ jobs_arg $ seed_arg $ seq_arg $ cap_arg
           $ samples_arg $ explain_arg $ out_arg)
 
+(* --- traffic: multi-tenant load with blast-radius accounting ----------- *)
+
+let traffic_cmd =
+  (* FS arguments parse as plain strings so unknown names flow through
+     Iron_fuzz.Args.brand: one-line error, exit 2 (the table-driven CLI
+     test pins this). *)
+  let fs_str_args =
+    Arg.(value & pos_all string [ "ext3" ]
+         & info [] ~docv:"FS" ~doc:"File systems to load.")
+  in
+  let clients_arg =
+    Arg.(value & opt int Iron_traffic.Traffic.default.clients
+         & info [ "clients" ] ~docv:"N" ~doc:"Simulated client sessions.")
+  in
+  let tenants_arg =
+    Arg.(value & opt int Iron_traffic.Traffic.default.tenants
+         & info [ "tenants" ] ~docv:"N"
+             ~doc:"Tenants; client $(i,c) belongs to $(i,c) mod $(docv).")
+  in
+  let duration_arg =
+    Arg.(value & opt int Iron_traffic.Traffic.default.duration_ms
+         & info [ "duration" ] ~docv:"MS"
+             ~doc:"Simulated measurement window, milliseconds.")
+  in
+  let zipf_arg =
+    Arg.(value & opt float Iron_traffic.Traffic.default.zipf
+         & info [ "zipf" ] ~docv:"THETA"
+             ~doc:"Working-set skew exponent (quantized to quarters; 0 \
+                   is uniform).")
+  in
+  let arrival_arg =
+    Arg.(value & opt string "mixed"
+         & info [ "arrival" ] ~docv:"KIND"
+             ~doc:"Arrival process: poisson (open loop), closed \
+                   (think-time loop), or mixed.")
+  in
+  let blocks_arg =
+    Arg.(value & opt int Iron_traffic.Traffic.default.num_blocks
+         & info [ "blocks" ] ~docv:"N"
+             ~doc:"Logical volume size in 4 KiB blocks (the sparse image \
+                   materializes only touched chunks).")
+  in
+  let states_arg =
+    Arg.(value & opt int Iron_traffic.Traffic.default.states
+         & info [ "states" ] ~docv:"N"
+             ~doc:"Crash-state budget for the blast-radius phase.")
+  in
+  let run fses jobs seed clients tenants duration zipf arrival blocks states
+      out =
+    let clients = validate (Iron_fuzz.Args.positive ~what:"--clients" clients) in
+    let tenants = validate (Iron_fuzz.Args.positive ~what:"--tenants" tenants) in
+    let duration =
+      validate (Iron_fuzz.Args.positive ~what:"--duration" duration)
+    in
+    let zipf = validate (Iron_fuzz.Args.zipf zipf) in
+    let arrival =
+      match
+        Iron_traffic.Traffic.arrival_of_string
+          (validate (Iron_fuzz.Args.arrival arrival))
+      with
+      | Some a -> a
+      | None -> assert false
+    in
+    let blocks = validate (Iron_fuzz.Args.positive ~what:"--blocks" blocks) in
+    let states = validate (Iron_fuzz.Args.positive ~what:"--states" states) in
+    let jobs = validate (Iron_fuzz.Args.positive ~what:"--jobs" jobs) in
+    let fses =
+      List.map
+        (fun n -> validate (Iron_fuzz.Args.brand ~known:known_brands n))
+        fses
+    in
+    let cfg =
+      {
+        Iron_traffic.Traffic.default with
+        clients;
+        tenants;
+        duration_ms = duration;
+        zipf;
+        seed;
+        num_blocks = blocks;
+        arrival;
+        states;
+      }
+    in
+    List.iter
+      (fun name ->
+        let brand = List.assoc name brands in
+        let r = Iron_traffic.Traffic.run ~jobs cfg brand in
+        Format.printf "%a@.@." Iron_traffic.Traffic.pp_report r;
+        match out with
+        | None -> ()
+        | Some dir -> save_artifact dir (Iron_report.Report.of_traffic r))
+      fses
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:"Multi-tenant traffic simulation: thousands of simulated \
+             client sessions (Poisson or closed-loop arrivals, \
+             Zipf-skewed working sets) against one sparse volume through \
+             a deterministic discrete-event scheduler keyed on simulated \
+             disk time, then a per-tenant blast-radius crash campaign: \
+             which tenant's durable data does a crash state lose, and \
+             whose write is to blame. ext3's shared journal lets one \
+             tenant corrupt another; ixt3's transactional checksum \
+             refuses. Deterministic: the report and the --out artifact \
+             are byte-identical for any -j with the same --seed.")
+    Term.(const run $ fs_str_args $ jobs_arg $ seed_arg $ clients_arg
+          $ tenants_arg $ duration_arg $ zipf_arg $ arrival_arg $ blocks_arg
+          $ states_arg $ out_arg)
+
 (* --- explain: the causal-forensics console ----------------------------- *)
 
 (* Render one recorded write as a Chrome-trace span. Exploration runs
@@ -745,6 +855,12 @@ let golden_forensics_fses = [ "ext3"; "ixt3" ]
    violating workloads (minimized) and ixt3's empty case list. *)
 let golden_fuzz_fses = [ "ext3"; "ixt3" ]
 
+(* Traffic goldens pin the multi-tenant campaign for the same pair:
+   load-phase throughput/latency in simulated time plus the per-tenant
+   blast radius — ext3 loses tenants' durable data to other tenants'
+   writes, ixt3 loses none. *)
+let golden_traffic_fses = [ "ext3"; "ixt3" ]
+
 let golden_fingerprint_fses =
   List.filter_map
     (fun (name, _) ->
@@ -803,6 +919,13 @@ let golden_cmd =
         let r = Iron_fuzz.Fuzz.campaign ~jobs ~seq:1 ~seed brand in
         fresh := Report.of_fuzz r :: !fresh)
       golden_fuzz_fses;
+    List.iter
+      (fun name ->
+        let brand = List.assoc name brands in
+        let cfg = { Iron_traffic.Traffic.default with seed } in
+        let r = Iron_traffic.Traffic.run ~jobs cfg brand in
+        fresh := Report.of_traffic r :: !fresh)
+      golden_traffic_fses;
     let fresh = List.rev !fresh in
     if update then begin
       List.iter (fun art -> save_artifact dir art) fresh;
@@ -895,5 +1018,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fingerprint_cmd; summary_cmd; bench_cmd; space_cmd; robust_cmd;
-            stats_cmd; scrub_cmd; crash_cmd; fuzz_cmd; explain_cmd; fsck_cmd;
+            stats_cmd; scrub_cmd; crash_cmd; fuzz_cmd; traffic_cmd; explain_cmd; fsck_cmd;
             diff_cmd; golden_cmd ]))

@@ -407,12 +407,9 @@ let scratch ~params =
       slot := Some (params.Memdisk.num_blocks, c);
       c
 
-(* The invariant-check skeleton, shared by the fixed-workload explorer
-   and the fuzzing campaign: materialize the spec (O(dirty) restore +
-   one poke per chosen block), remount, detect Tc, run the
-   caller-supplied data verifier, unmount, optionally fsck. *)
-let check_with ~params ~brand ~fsck ~verify ~baseline
-    ~(entries : Wlog.entry array) spec =
+(* Materialize a spec on the calling domain's scratch COW: O(dirty)
+   restore of the base image plus one poke per chosen block. *)
+let materialize ~params ~baseline ~(entries : Wlog.entry array) spec =
   let cow = scratch ~params in
   Cow.restore cow baseline;
   Array.iter
@@ -426,6 +423,14 @@ let check_with ~params ~brand ~fsck ~verify ~baseline
       let len = min len (Bytes.length e.Wlog.w_data) in
       Bytes.blit e.Wlog.w_data 0 cur 0 len;
       Cow.poke cow e.Wlog.w_block cur);
+  cow
+
+(* The invariant-check skeleton, shared by the fixed-workload explorer
+   and the fuzzing campaign: materialize the spec, remount, detect Tc,
+   run the caller-supplied data verifier, unmount, optionally fsck. *)
+let check_with ~params ~brand ~fsck ~verify ~baseline
+    ~(entries : Wlog.entry array) spec =
+  let cow = materialize ~params ~baseline ~entries spec in
   let dev = Cow.dev cow in
   (* Power is back: remount and hold the invariants up to the light. *)
   match (try `Mounted (Fs.mount brand dev) with Klog.Panic m -> `Panic m) with
@@ -935,7 +940,7 @@ type expect = {
   ex_allowed : string list option;
 }
 
-let verify_expects expects (Fs.Boxed ((module F), t)) =
+let expect_failure (Fs.Boxed ((module F), t)) ex =
   let check_content ex size fit =
     if size = 0 then None
     else
@@ -983,14 +988,96 @@ let verify_expects expects (Fs.Boxed ((module F), t)) =
                        ex.ex_path size)
                 else check_content ex size fit)
   in
+  check_one ex
+
+let verify_expects expects fsb =
   let bad = ref None in
-  List.iter (fun ex -> if !bad = None then bad := check_one ex) expects;
+  List.iter (fun ex -> if !bad = None then bad := expect_failure fsb ex) expects;
   !bad
 
 let check_spec ~params ~brand ~fsck ~expects s (spec : state_spec) =
   check_with ~params ~brand ~fsck
     ~verify:(verify_expects (expects ~epoch:(spec_epoch s spec)))
     ~baseline:s.ss_baseline ~entries:s.ss_entries spec
+
+(* The multi-tenant variant: collect {e every} failed expectation
+   (path + detail) instead of stopping at the first, so a caller can
+   attribute each loss to the tenant owning the path. Mount-level
+   trouble (panic, unmountable) preempts the per-path walk, exactly as
+   in [check_with]. *)
+type outcome_all = {
+  oa_global : (kind * string) option;
+  oa_failed : (string * string) list;
+  oa_fsck : string option;
+  oa_tc : bool;
+}
+
+let check_spec_all ~params ~brand ~fsck ~expects s (spec : state_spec) =
+  let cow = materialize ~params ~baseline:s.ss_baseline ~entries:s.ss_entries spec in
+  let dev = Cow.dev cow in
+  let none g = { oa_global = g; oa_failed = []; oa_fsck = None; oa_tc = false } in
+  match (try `Mounted (Fs.mount brand dev) with Klog.Panic m -> `Panic m) with
+  | `Panic m -> none (Some (Panic, "panic during recovery: " ^ m))
+  | `Mounted (Error e) -> none (Some (Unmountable, "mount: " ^ Errno.to_string e))
+  | `Mounted (Ok (Fs.Boxed ((module F), t) as fsb)) -> (
+      let tc =
+        List.exists
+          (fun (en : Klog.entry) ->
+            contains_sub ~needle:"checksum mismatch"
+              (String.lowercase_ascii en.Klog.message))
+          (Klog.entries (F.klog t))
+      in
+      try
+        let failed =
+          List.filter_map
+            (fun ex ->
+              match expect_failure fsb ex with
+              | None -> None
+              | Some d -> Some (ex.ex_path, d))
+            (expects ~epoch:(spec_epoch s spec))
+        in
+        let global, fsck_bad =
+          match F.unmount t with
+          | Error e -> (Some (Unmountable, "unmount: " ^ Errno.to_string e), None)
+          | Ok () ->
+              if not fsck then (None, None)
+              else (
+                match Iron_ext3.Fsck.run dev with
+                | Error e -> (None, Some ("fsck: " ^ Errno.to_string e))
+                | Ok rep ->
+                    if rep.Iron_ext3.Fsck.clean then (None, None)
+                    else
+                      let first =
+                        match
+                          List.find_opt
+                            (fun f -> f.Iron_ext3.Fsck.severity = `Error)
+                            rep.Iron_ext3.Fsck.findings
+                        with
+                        | Some f -> f.Iron_ext3.Fsck.message
+                        | None -> "errors"
+                      in
+                      (None, Some first))
+        in
+        { oa_global = global; oa_failed = failed; oa_fsck = fsck_bad; oa_tc = tc }
+      with Klog.Panic m ->
+        { (none (Some (Panic, "panic while checking: " ^ m))) with oa_tc = tc })
+
+(* Provenance of the earliest write the spec drops (or tears): the
+   proximate cause a blast-radius campaign charges the crash to. *)
+let spec_first_dropped s (spec : state_spec) =
+  let whole, counts = counts_of s spec in
+  let entries = s.ss_entries in
+  let best = ref (-1) in
+  let consider i =
+    if !best < 0 || entries.(i).Wlog.w_seq < entries.(!best).Wlog.w_seq then
+      best := i
+  in
+  Array.iteri
+    (fun j c ->
+      if c < Array.length whole.groups.(j) then consider whole.groups.(j).(c))
+    counts;
+  (match spec.torn with Some (i, _) -> consider i | None -> ());
+  if !best < 0 then None else Some entries.(!best).Wlog.w_prov
 
 type forensics_ctx = forensic_ctx
 

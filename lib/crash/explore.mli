@@ -259,6 +259,35 @@ val check_spec :
     unmount, and (with [~fsck:true]) cross-check with the offline
     checker. Expectation failures report as {!Data_loss}. *)
 
+(** The multi-tenant check outcome: {e every} failed expectation, so a
+    blast-radius campaign can attribute each loss to the tenant owning
+    the path. [oa_global] carries mount-level trouble (panic,
+    unmountable, failed unmount), which preempts the per-path walk;
+    [oa_fsck] the offline checker's first error, when requested. *)
+type outcome_all = {
+  oa_global : (kind * string) option;
+  oa_failed : (string * string) list;  (** (path, detail), in expect order *)
+  oa_fsck : string option;
+  oa_tc : bool;
+}
+
+val check_spec_all :
+  params:Iron_disk.Memdisk.params ->
+  brand:Iron_vfs.Fs.brand ->
+  fsck:bool ->
+  expects:(epoch:int -> expect list) ->
+  session ->
+  state_spec ->
+  outcome_all
+(** Like {!check_spec} but collecting all expectation failures instead
+    of stopping at the first. *)
+
+val spec_first_dropped :
+  session -> state_spec -> Iron_obs.Prov.tag option
+(** Provenance of the earliest write (by sequence) the spec drops or
+    tears — the proximate cause a blast-radius campaign charges the
+    crash state to. [None] when the spec persists the whole log. *)
+
 type forensics_ctx
 
 val session_forensics :

@@ -1,0 +1,288 @@
+(* Sparse chunk-indexed overlay device.
+
+   Behaviourally a [Cow] — same service-time model, same statistics,
+   same error cases (the differential tests pin [Sparse ≡ Memdisk]
+   exactly as they pin [Cow ≡ Memdisk]) — but every per-block structure
+   is replaced by one that costs O(touched), so a multi-GB logical
+   volume is cheap as long as only a sliver of it is ever written:
+
+   - the {e image} is an array of power-of-two {e chunks}; a chunk is
+     [None] until a block inside it is first frozen, and a materialized
+     chunk is a [bytes array] whose untouched slots alias the shared
+     zero block. A blank 1 GiB image is a few hundred [None]s;
+   - the {e overlay} is a hashtable from block number to [Bigstore]
+     slot plus an insertion-ordered dirty list — no dense per-block
+     array. The hashtable is only ever probed by key; every ordered
+     walk runs off the dirty list, so nothing observable depends on
+     hash order and the [-j] byte-identity contract holds;
+   - a write of all zeroes to a block whose base is still the shared
+     zero block is charged and counted like any other write but
+     materializes nothing — the content is unchanged. mkfs's
+     zero-the-whole-volume pass therefore touches no memory at all.
+
+   Snapshot adopts dirty slots into privately copied chunks (O(dirty)
+   byte work plus one pointer-array copy per dirty chunk); restore
+   drops the overlay (O(dirty)). *)
+
+(* The shared all-zeroes block, one per block size (same discipline as
+   [Cow]; private to this module so the two stay independent). *)
+let zero_blocks : (int, bytes) Hashtbl.t = Hashtbl.create 4
+let zero_mutex = Mutex.create ()
+
+let zero_block bs =
+  Mutex.lock zero_mutex;
+  let b =
+    match Hashtbl.find_opt zero_blocks bs with
+    | Some b -> b
+    | None ->
+        let b = Bytes.make bs '\000' in
+        Hashtbl.add zero_blocks bs b;
+        b
+  in
+  Mutex.unlock zero_mutex;
+  b
+
+type image = {
+  i_block_size : int;
+  i_num_blocks : int;
+  i_chunk_blocks : int; (* power of two *)
+  i_chunks : bytes array option array; (* [None] = untouched, all zero *)
+}
+
+let default_chunk_blocks = 512 (* 2 MiB of 4 KiB blocks *)
+
+let check_chunk cb =
+  if cb < 1 || cb land (cb - 1) <> 0 then
+    invalid_arg "Sparse: chunk_blocks must be a power of two"
+
+let nchunks ~num_blocks ~chunk_blocks =
+  (num_blocks + chunk_blocks - 1) / chunk_blocks
+
+let blank_image ?(chunk_blocks = default_chunk_blocks) ~block_size ~num_blocks
+    () =
+  check_chunk chunk_blocks;
+  {
+    i_block_size = block_size;
+    i_num_blocks = num_blocks;
+    i_chunk_blocks = chunk_blocks;
+    i_chunks = Array.make (nchunks ~num_blocks ~chunk_blocks) None;
+  }
+
+let image_block_size img = img.i_block_size
+let image_num_blocks img = img.i_num_blocks
+let image_chunk_blocks img = img.i_chunk_blocks
+
+let image_block img b =
+  let c = b / img.i_chunk_blocks in
+  match img.i_chunks.(c) with
+  | None -> zero_block img.i_block_size
+  | Some arr -> arr.(b land (img.i_chunk_blocks - 1))
+
+let image_chunks_touched img =
+  Array.fold_left
+    (fun n c -> match c with None -> n | Some _ -> n + 1)
+    0 img.i_chunks
+
+let image_blocks_touched img =
+  let z = zero_block img.i_block_size in
+  Array.fold_left
+    (fun n c ->
+      match c with
+      | None -> n
+      | Some arr ->
+          Array.fold_left (fun n b -> if b == z then n else n + 1) n arr)
+    0 img.i_chunks
+
+type t = {
+  model : Model.t;
+  mutable base : image;
+  slab : Bigstore.t;
+  overlay : (int, int) Hashtbl.t; (* block -> slot; absent = clean *)
+  mutable dirty : int array; (* dirty block numbers, insertion order *)
+  mutable ndirty : int;
+  zero : bytes; (* the shared zero block for this block size *)
+  chunk_shift : int;
+}
+
+let create ?(params = Model.default_params)
+    ?(chunk_blocks = default_chunk_blocks) () =
+  check_chunk chunk_blocks;
+  let bs = params.Model.block_size in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  {
+    model = Model.create params;
+    base =
+      blank_image ~chunk_blocks ~block_size:bs
+        ~num_blocks:params.Model.num_blocks ();
+    slab = Bigstore.create ~slot_size:bs ();
+    overlay = Hashtbl.create 256;
+    dirty = Array.make 64 0;
+    ndirty = 0;
+    zero = zero_block bs;
+    chunk_shift = log2 chunk_blocks;
+  }
+
+let block_size t = t.base.i_block_size
+let num_blocks t = t.base.i_num_blocks
+let dirty_count t = t.ndirty
+let base t = t.base
+let overlay_bytes t = Bigstore.live t.slab * block_size t
+
+let note_dirty t b =
+  if t.ndirty = Array.length t.dirty then begin
+    let bigger = Array.make (2 * t.ndirty) 0 in
+    Array.blit t.dirty 0 bigger 0 t.ndirty;
+    t.dirty <- bigger
+  end;
+  t.dirty.(t.ndirty) <- b;
+  t.ndirty <- t.ndirty + 1
+
+let base_block t b = image_block t.base b
+let base_is_zero t b = base_block t b == t.zero
+
+let current_into t b buf =
+  match Hashtbl.find_opt t.overlay b with
+  | Some s -> Bigstore.read_into t.slab s buf
+  | None -> Bytes.blit (base_block t b) 0 buf 0 (block_size t)
+
+let current_copy t b =
+  match Hashtbl.find_opt t.overlay b with
+  | Some s -> Bigstore.copy_out t.slab s
+  | None -> Bytes.copy (base_block t b)
+
+(* A writable overlay slot for block [b]; [~init] seeds it from the
+   base block (partial writes). *)
+let own_slot t b ~init =
+  match Hashtbl.find_opt t.overlay b with
+  | Some s -> s
+  | None ->
+      let s = Bigstore.alloc t.slab in
+      if init then Bigstore.write t.slab s (base_block t b);
+      Hashtbl.replace t.overlay b s;
+      note_dirty t b;
+      s
+
+let in_range t b = b >= 0 && b < num_blocks t
+
+let read t b =
+  if not (in_range t b) then Error Dev.Enxio
+  else begin
+    Model.charge_read t.model b;
+    Ok (current_copy t b)
+  end
+
+let read_into t b buf =
+  if not (in_range t b) then Error Dev.Enxio
+  else if Bytes.length buf <> block_size t then Error Dev.Eio
+  else begin
+    Model.charge_read t.model b;
+    current_into t b buf;
+    Ok ()
+  end
+
+let write t b data =
+  if not (in_range t b) then Error Dev.Enxio
+  else if Bytes.length data <> block_size t then Error Dev.Eio
+  else begin
+    Model.charge_write t.model b;
+    (match Hashtbl.find_opt t.overlay b with
+    | Some s -> Bigstore.write t.slab s data
+    | None ->
+        (* Zeroes over a still-zero block change nothing: charge and
+           count the write (behavioural parity with the dense stores)
+           but keep the block clean. *)
+        if base_is_zero t b && Bytes.equal data t.zero then ()
+        else begin
+          let s = Bigstore.alloc t.slab in
+          Bigstore.write t.slab s data;
+          Hashtbl.replace t.overlay b s;
+          note_dirty t b
+        end);
+    Ok ()
+  end
+
+let sync t =
+  Model.charge_sync t.model;
+  Ok ()
+
+let dev t =
+  {
+    Dev.block_size = block_size t;
+    num_blocks = num_blocks t;
+    read = read t;
+    read_into = read_into t;
+    write = write t;
+    sync = (fun () -> sync t);
+    now = (fun () -> Model.now t.model);
+  }
+
+let stats t = Model.stats t.model
+let reset_stats t = Model.reset_stats t.model
+let set_time_model t on = Model.set_timed t.model on
+
+(* Raw access, bypassing the timing model and statistics. *)
+let peek t b = current_copy t b
+
+let poke t b data =
+  let slot = own_slot t b ~init:true in
+  Bigstore.write_sub t.slab slot data
+    (min (Bytes.length data) (block_size t))
+
+let chunk_len t c =
+  min t.base.i_chunk_blocks (num_blocks t - (c lsl t.chunk_shift))
+
+(* Freeze the current state. Chunks with no dirty block are shared with
+   the old base; a dirty chunk is copied once (a pointer-array copy)
+   and its dirty slots frozen out of the slab. O(dirty) byte work. *)
+let snapshot t =
+  if t.ndirty = 0 then t.base
+  else begin
+    let chunks = Array.copy t.base.i_chunks in
+    let fresh = Hashtbl.create 16 in
+    for i = 0 to t.ndirty - 1 do
+      let b = t.dirty.(i) in
+      let c = b lsr t.chunk_shift in
+      let arr =
+        match chunks.(c) with
+        | Some arr when Hashtbl.mem fresh c -> arr
+        | Some arr ->
+            let a = Array.copy arr in
+            chunks.(c) <- Some a;
+            Hashtbl.add fresh c ();
+            a
+        | None ->
+            let a = Array.make (chunk_len t c) t.zero in
+            chunks.(c) <- Some a;
+            Hashtbl.add fresh c ();
+            a
+      in
+      let s = Hashtbl.find t.overlay b in
+      arr.(b land (t.base.i_chunk_blocks - 1)) <- Bigstore.copy_out t.slab s;
+      Bigstore.free t.slab s
+    done;
+    Hashtbl.reset t.overlay;
+    t.ndirty <- 0;
+    let img = { t.base with i_chunks = chunks } in
+    t.base <- img;
+    img
+  end
+
+(* Point the device at [img]: drop the overlay (slots recycled) and
+   reset the model. O(dirty). *)
+let restore t img =
+  if
+    img.i_num_blocks <> num_blocks t
+    || img.i_block_size <> block_size t
+    || img.i_chunk_blocks <> t.base.i_chunk_blocks
+  then invalid_arg "Sparse.restore: image geometry mismatch";
+  if t.ndirty = 0 && t.base == img then Model.reset t.model
+  else begin
+    for i = 0 to t.ndirty - 1 do
+      let b = t.dirty.(i) in
+      Bigstore.free t.slab (Hashtbl.find t.overlay b)
+    done;
+    Hashtbl.reset t.overlay;
+    t.ndirty <- 0;
+    t.base <- img;
+    Model.reset t.model
+  end

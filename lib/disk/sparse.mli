@@ -1,0 +1,92 @@
+(** Sparse chunk-indexed overlay device for multi-GB logical volumes.
+
+    Behaves exactly like {!Memdisk} and {!Cow} through the device
+    interface — same {!Model} service-time charges, statistics and
+    error cases (the differential test suite pins the equivalence) —
+    but every per-block structure is O(touched) instead of
+    O(num_blocks):
+
+    - an {e image} is an array of power-of-two {e chunks}, [None] until
+      a block inside the chunk is first frozen; materialized chunks
+      alias the shared zero block for their untouched slots. A blank
+      1 GiB image is a few hundred empty options;
+    - the dirty {e overlay} is a block → {!Bigstore}-slot hashtable
+      plus an insertion-ordered dirty list. Hash order is never
+      observed — ordered walks run off the dirty list — so reports
+      built over this device keep the [-j] byte-identity contract;
+    - writing all zeroes to a still-zero block is charged and counted
+      like any write but materializes nothing, so mkfs's
+      zero-the-volume pass costs no memory.
+
+    {!snapshot} stays O(dirty), {!restore} O(dirty) — the same image
+    discipline as {!Cow}, at traffic-simulation scale. *)
+
+(** {1 Images} *)
+
+type image
+(** An immutable sparse disk image; structurally shared chunk-wise. *)
+
+val default_chunk_blocks : int
+(** [512] — 2 MiB chunks at the default 4 KiB block size. *)
+
+val blank_image :
+  ?chunk_blocks:int -> block_size:int -> num_blocks:int -> unit -> image
+(** The all-zeroes image, O(num_blocks / chunk_blocks) words.
+    @raise Invalid_argument if [chunk_blocks] is not a power of two. *)
+
+val image_block_size : image -> int
+val image_num_blocks : image -> int
+val image_chunk_blocks : image -> int
+
+val image_block : image -> int -> bytes
+(** The frozen buffer for one block — {b do not mutate}. Untouched
+    blocks return the shared zero block. *)
+
+val image_chunks_touched : image -> int
+(** Materialized chunks — the image's footprint in chunk units. *)
+
+val image_blocks_touched : image -> int
+(** Blocks holding private (non-zero-aliased) buffers; the scaling
+    tests pin the O(touched) claim with this. *)
+
+(** {1 The device} *)
+
+type t
+
+val create : ?params:Model.params -> ?chunk_blocks:int -> unit -> t
+(** A fresh device over the blank image. Defaults:
+    {!Model.default_params}, {!default_chunk_blocks}. *)
+
+val dev : t -> Dev.t
+val base : t -> image
+
+val dirty_count : t -> int
+(** Blocks written since the last {!restore}/{!snapshot}. *)
+
+val overlay_bytes : t -> int
+(** Bytes held by the overlay slab — the device's O(touched) working
+    set. *)
+
+val block_size : t -> int
+val num_blocks : t -> int
+
+(** {1 Statistics and timing} (see {!Model}) *)
+
+val stats : t -> Model.stats
+val reset_stats : t -> unit
+val set_time_model : t -> bool -> unit
+
+(** {1 Raw access for setup, verification and snapshots} *)
+
+val peek : t -> int -> bytes
+val poke : t -> int -> bytes -> unit
+
+val snapshot : t -> image
+(** Freeze the current state: O(dirty) byte work, one pointer-array
+    copy per chunk containing a dirty block, clean chunks shared. *)
+
+val restore : t -> image -> unit
+(** Point the device at [img], dropping the overlay (O(dirty), slots
+    recycled) and resetting statistics and clock.
+    @raise Invalid_argument if [img]'s geometry (block size, block
+    count or chunk size) differs from the device's. *)

@@ -32,13 +32,29 @@ let compute ~block_size ~num_blocks =
   let inodes_per_block = block_size / inode_size in
   let itable_blocks = 4 in
   let inodes_per_group = itable_blocks * inodes_per_block in
-  let blocks_per_group = 256 in
   (* Journal sized with the volume (real ext3 defaults are far larger
      still); a cramped journal forces a checkpoint at every commit and
      distorts relative costs. *)
   let journal_len = max 64 (num_blocks / 16) in
   let journal_start = 2 in
   let groups_start = journal_start + journal_len in
+  (* The group-descriptor table is a single block (block 1): 20 bytes
+     per group, so at most [block_size / 20] groups. Small volumes keep
+     the historical 256-block groups; larger ones double the group size
+     until every descriptor fits, bounded by what one block bitmap can
+     cover. *)
+  let gd_per_block = block_size / 20 in
+  let bitmap_bits = block_size * 8 in
+  let blocks_per_group =
+    let rec widen bpg =
+      if (num_blocks - groups_start) / bpg > gd_per_block then widen (bpg * 2)
+      else bpg
+    in
+    let bpg = widen 256 in
+    if bpg > bitmap_bits then
+      failwith "Layout.compute: volume too large for one-block bitmaps";
+    bpg
+  in
   let cksum_per_block = block_size / digest_size in
   let cksum_blocks = (num_blocks + cksum_per_block - 1) / cksum_per_block in
   let rmap_blocks = ((num_blocks * 4) + block_size - 1) / block_size in

@@ -8,6 +8,19 @@ let seq n =
   if n >= 1 && n <= 3 then Ok n
   else Error (Printf.sprintf "--seq must be 1, 2 or 3 (got %d)" n)
 
+let zipf x =
+  if Float.is_nan x || x < 0.0 || x > 2.0 then
+    Error (Printf.sprintf "--zipf must be within [0, 2] (got %g)" x)
+  else Ok x
+
+let arrival s =
+  match s with
+  | "poisson" | "closed" | "mixed" -> Ok s
+  | _ ->
+      Error
+        (Printf.sprintf
+           "--arrival must be poisson, closed or mixed (got %S)" s)
+
 let brand ~known name =
   if List.mem name known then Ok name
   else

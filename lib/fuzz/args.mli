@@ -10,6 +10,14 @@ val positive : what:string -> int -> (int, string) result
 val seq : int -> (int, string) result
 (** [Ok n] iff [1 <= n <= 3] — the B3 bound the generator supports. *)
 
+val zipf : float -> (float, string) result
+(** [Ok x] iff [0 <= x <= 2] and not NaN — the skew range the traffic
+    sampler's quarter-quantization covers. *)
+
+val arrival : string -> (string, string) result
+(** [Ok s] iff [s] names a traffic arrival process: ["poisson"],
+    ["closed"] or ["mixed"]. *)
+
 val brand : known:string list -> string -> (string, string) result
 (** [Ok name] iff [name] is a known file-system brand; the message
     lists the valid ones. *)

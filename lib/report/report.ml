@@ -144,6 +144,38 @@ type fuzz = {
   z_cases : fuzz_case list;
 }
 
+type traffic_tenant = {
+  tt_tenant : int;
+  tt_ops : int;
+  tt_viol : int;
+  tt_cross : int;
+}
+
+type traffic = {
+  t_fs : string;
+  t_clients : int;
+  t_tenants : int;
+  t_seed : int;
+  t_zipf_milli : int;
+  t_arrival : string;
+  t_duration_ms : int;
+  t_num_blocks : int;
+  t_ops : int;
+  t_errors : int;
+  t_ops_per_sim_sec : int;
+  t_p50_us : int;
+  t_p99_us : int;
+  t_op_counts : (string * int) list;
+  t_chunks_touched : int;
+  t_blocks_touched : int;
+  t_states : int;
+  t_tc : int;
+  t_viol : int;
+  t_cross : int;
+  t_mount_viol : int;
+  t_per_tenant : traffic_tenant list;
+}
+
 type t =
   | Fingerprint of fingerprint
   | Crash of crash
@@ -152,6 +184,7 @@ type t =
   | Bench of bench
   | Thresholds of thresholds
   | Fuzz of fuzz
+  | Traffic of traffic
 
 let kind_name = function
   | Fingerprint _ -> "fingerprint"
@@ -161,6 +194,7 @@ let kind_name = function
   | Bench _ -> "bench"
   | Thresholds _ -> "bench-thresholds"
   | Fuzz _ -> "fuzz"
+  | Traffic _ -> "traffic"
 
 let filename = function
   | Fingerprint f -> Printf.sprintf "fingerprint-%s.json" f.fp_fs
@@ -170,6 +204,7 @@ let filename = function
   | Bench _ -> "bench.json"
   | Thresholds _ -> "bench-thresholds.json"
   | Fuzz z -> Printf.sprintf "fuzz-%s.json" z.z_fs
+  | Traffic t -> Printf.sprintf "traffic-%s.json" t.t_fs
 
 (* ------------------------------------------------------------------ *)
 (* Builders                                                            *)
@@ -357,6 +392,45 @@ let of_fuzz (r : Iron_fuzz.Fuzz.report) =
                   c.Iron_fuzz.Fuzz.cs_first;
             })
           r.Iron_fuzz.Fuzz.fz_cases;
+    }
+
+(* The traffic artifact is all-integer by the simulator's design
+   (quantized skew, bucket-bound latencies, simulated time), so it
+   compares exactly like the other deterministic kinds. *)
+let of_traffic (r : Iron_traffic.Traffic.report) =
+  Traffic
+    {
+      t_fs = r.Iron_traffic.Traffic.r_fs;
+      t_clients = r.Iron_traffic.Traffic.r_clients;
+      t_tenants = r.Iron_traffic.Traffic.r_tenants;
+      t_seed = r.Iron_traffic.Traffic.r_seed;
+      t_zipf_milli = r.Iron_traffic.Traffic.r_zipf_milli;
+      t_arrival = r.Iron_traffic.Traffic.r_arrival;
+      t_duration_ms = r.Iron_traffic.Traffic.r_duration_ms;
+      t_num_blocks = r.Iron_traffic.Traffic.r_num_blocks;
+      t_ops = r.Iron_traffic.Traffic.r_ops;
+      t_errors = r.Iron_traffic.Traffic.r_errors;
+      t_ops_per_sim_sec = r.Iron_traffic.Traffic.r_ops_per_sim_sec;
+      t_p50_us = r.Iron_traffic.Traffic.r_p50_us;
+      t_p99_us = r.Iron_traffic.Traffic.r_p99_us;
+      t_op_counts = r.Iron_traffic.Traffic.r_op_counts;
+      t_chunks_touched = r.Iron_traffic.Traffic.r_chunks_touched;
+      t_blocks_touched = r.Iron_traffic.Traffic.r_blocks_touched;
+      t_states = r.Iron_traffic.Traffic.r_states;
+      t_tc = r.Iron_traffic.Traffic.r_tc;
+      t_viol = r.Iron_traffic.Traffic.r_viol;
+      t_cross = r.Iron_traffic.Traffic.r_cross;
+      t_mount_viol = r.Iron_traffic.Traffic.r_mount_viol;
+      t_per_tenant =
+        List.map
+          (fun (ts : Iron_traffic.Traffic.tenant_stat) ->
+            {
+              tt_tenant = ts.Iron_traffic.Traffic.ts_tenant;
+              tt_ops = ts.Iron_traffic.Traffic.ts_ops;
+              tt_viol = ts.Iron_traffic.Traffic.ts_viol;
+              tt_cross = ts.Iron_traffic.Traffic.ts_cross;
+            })
+          r.Iron_traffic.Traffic.r_tenant;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -555,6 +629,44 @@ let json_of t =
                                 c.z_first) );
                        ])
                    z.z_cases) );
+          ])
+  | Traffic t ->
+      Json.Assoc
+        (head "traffic"
+        @ [
+            ("fs", Json.String t.t_fs);
+            ("clients", Json.Int t.t_clients);
+            ("tenants", Json.Int t.t_tenants);
+            ("seed", Json.Int t.t_seed);
+            ("zipf_milli", Json.Int t.t_zipf_milli);
+            ("arrival", Json.String t.t_arrival);
+            ("duration_ms", Json.Int t.t_duration_ms);
+            ("num_blocks", Json.Int t.t_num_blocks);
+            ("ops", Json.Int t.t_ops);
+            ("errors", Json.Int t.t_errors);
+            ("ops_per_sim_sec", Json.Int t.t_ops_per_sim_sec);
+            ("p50_us", Json.Int t.t_p50_us);
+            ("p99_us", Json.Int t.t_p99_us);
+            ("op_counts", json_counters t.t_op_counts);
+            ("chunks_touched", Json.Int t.t_chunks_touched);
+            ("blocks_touched", Json.Int t.t_blocks_touched);
+            ("states", Json.Int t.t_states);
+            ("tc_detected", Json.Int t.t_tc);
+            ("violations", Json.Int t.t_viol);
+            ("cross_tenant", Json.Int t.t_cross);
+            ("mount_violations", Json.Int t.t_mount_viol);
+            ( "per_tenant",
+              Json.List
+                (List.map
+                   (fun tt ->
+                     Json.Assoc
+                       [
+                         ("tenant", Json.Int tt.tt_tenant);
+                         ("ops", Json.Int tt.tt_ops);
+                         ("violations", Json.Int tt.tt_viol);
+                         ("cross", Json.Int tt.tt_cross);
+                       ])
+                   t.t_per_tenant) );
           ])
   | Thresholds th ->
       Json.Assoc
@@ -890,6 +1002,69 @@ let fuzz_of j =
          z_cases;
        })
 
+let traffic_of j =
+  let* t_fs = Json.mem_str "fs" j in
+  let* t_clients = Json.mem_int "clients" j in
+  let* t_tenants = Json.mem_int "tenants" j in
+  let* t_seed = Json.mem_int "seed" j in
+  let* t_zipf_milli = Json.mem_int "zipf_milli" j in
+  let* t_arrival = Json.mem_str "arrival" j in
+  let* t_duration_ms = Json.mem_int "duration_ms" j in
+  let* t_num_blocks = Json.mem_int "num_blocks" j in
+  let* t_ops = Json.mem_int "ops" j in
+  let* t_errors = Json.mem_int "errors" j in
+  let* t_ops_per_sim_sec = Json.mem_int "ops_per_sim_sec" j in
+  let* t_p50_us = Json.mem_int "p50_us" j in
+  let* t_p99_us = Json.mem_int "p99_us" j in
+  let* t_op_counts =
+    let* m = Json.member "op_counts" j in
+    counters_of m
+  in
+  let* t_chunks_touched = Json.mem_int "chunks_touched" j in
+  let* t_blocks_touched = Json.mem_int "blocks_touched" j in
+  let* t_states = Json.mem_int "states" j in
+  let* t_tc = Json.mem_int "tc_detected" j in
+  let* t_viol = Json.mem_int "violations" j in
+  let* t_cross = Json.mem_int "cross_tenant" j in
+  let* t_mount_viol = Json.mem_int "mount_violations" j in
+  let* t_per_tenant =
+    let* m = Json.mem_list "per_tenant" j in
+    map_result
+      (fun tt ->
+        let* tt_tenant = Json.mem_int "tenant" tt in
+        let* tt_ops = Json.mem_int "ops" tt in
+        let* tt_viol = Json.mem_int "violations" tt in
+        let* tt_cross = Json.mem_int "cross" tt in
+        Ok { tt_tenant; tt_ops; tt_viol; tt_cross })
+      m
+  in
+  Ok
+    (Traffic
+       {
+         t_fs;
+         t_clients;
+         t_tenants;
+         t_seed;
+         t_zipf_milli;
+         t_arrival;
+         t_duration_ms;
+         t_num_blocks;
+         t_ops;
+         t_errors;
+         t_ops_per_sim_sec;
+         t_p50_us;
+         t_p99_us;
+         t_op_counts;
+         t_chunks_touched;
+         t_blocks_touched;
+         t_states;
+         t_tc;
+         t_viol;
+         t_cross;
+         t_mount_viol;
+         t_per_tenant;
+       })
+
 let of_string s =
   let* j = Json.of_string s in
   let* version = Json.mem_int "schema_version" j in
@@ -907,6 +1082,7 @@ let of_string s =
     | "bench" -> bench_of j
     | "bench-thresholds" -> thresholds_of j
     | "fuzz" -> fuzz_of j
+    | "traffic" -> traffic_of j
     | k -> Error (Printf.sprintf "unknown artifact kind %S" k)
 
 let save path t =
@@ -938,6 +1114,10 @@ let is_exact_metric name =
   suffix ".states" || suffix ".violations" || suffix ".tc_detected"
   || suffix ".chains" || suffix ".culprits" || suffix ".probes"
   || suffix ".workloads" || suffix ".log_writes"
+  (* traffic metrics are simulated-time, hence deterministic *)
+  || suffix ".ops" || suffix ".ops_per_sim_sec" || suffix ".p50_us"
+  || suffix ".p99_us" || suffix ".cross_tenant" || suffix ".blocks_touched"
+  || suffix ".chunks_touched"
   || name = "jobs"
 
 let item path golden fresh = { path; golden; fresh }
@@ -1324,6 +1504,57 @@ let diff_fuzz g f =
     g.z_cases;
   List.rev !items
 
+(* Traffic reports are simulated-time end to end: exact, cell-level
+   comparison including per-tenant rows. *)
+let diff_traffic g f =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let pre = "traffic/" ^ g.t_fs in
+  let scalar name gv fv =
+    if gv <> fv then
+      push (item (pre ^ "/" ^ name) (string_of_int gv) (string_of_int fv))
+  in
+  if g.t_fs <> f.t_fs then push (item (pre ^ "/fs") g.t_fs f.t_fs);
+  scalar "clients" g.t_clients f.t_clients;
+  scalar "tenants" g.t_tenants f.t_tenants;
+  scalar "seed" g.t_seed f.t_seed;
+  scalar "zipf_milli" g.t_zipf_milli f.t_zipf_milli;
+  if g.t_arrival <> f.t_arrival then
+    push (item (pre ^ "/arrival") g.t_arrival f.t_arrival);
+  scalar "duration_ms" g.t_duration_ms f.t_duration_ms;
+  scalar "num_blocks" g.t_num_blocks f.t_num_blocks;
+  scalar "ops" g.t_ops f.t_ops;
+  scalar "errors" g.t_errors f.t_errors;
+  scalar "ops_per_sim_sec" g.t_ops_per_sim_sec f.t_ops_per_sim_sec;
+  scalar "p50_us" g.t_p50_us f.t_p50_us;
+  scalar "p99_us" g.t_p99_us f.t_p99_us;
+  List.iter push (diff_counters (pre ^ "/op_counts") g.t_op_counts f.t_op_counts);
+  scalar "chunks_touched" g.t_chunks_touched f.t_chunks_touched;
+  scalar "blocks_touched" g.t_blocks_touched f.t_blocks_touched;
+  scalar "states" g.t_states f.t_states;
+  scalar "tc_detected" g.t_tc f.t_tc;
+  scalar "violations" g.t_viol f.t_viol;
+  scalar "cross_tenant" g.t_cross f.t_cross;
+  scalar "mount_violations" g.t_mount_viol f.t_mount_viol;
+  let gn = List.length g.t_per_tenant and fn = List.length f.t_per_tenant in
+  if gn <> fn then
+    push
+      (item (pre ^ "/per_tenant")
+         (Printf.sprintf "%d tenants" gn)
+         (Printf.sprintf "%d tenants" fn));
+  List.iteri
+    (fun i gt ->
+      match List.nth_opt f.t_per_tenant i with
+      | Some ft when gt <> ft ->
+          let show tt =
+            Printf.sprintf "t%d: ops %d, violations %d (cross %d)" tt.tt_tenant
+              tt.tt_ops tt.tt_viol tt.tt_cross
+          in
+          push (item (Printf.sprintf "%s/per_tenant[%d]" pre i) (show gt) (show ft))
+      | _ -> ())
+    g.t_per_tenant;
+  List.rev !items
+
 let diff ?(timing_tol = default_timing_tol) golden fresh =
   match (golden, fresh) with
   | Fingerprint g, Fingerprint f -> Ok (diff_fingerprint g f)
@@ -1332,6 +1563,7 @@ let diff ?(timing_tol = default_timing_tol) golden fresh =
   | Metrics g, Metrics f -> Ok (diff_metrics g f)
   | Bench g, Bench f -> Ok (diff_bench ~timing_tol g f)
   | Fuzz g, Fuzz f -> Ok (diff_fuzz g f)
+  | Traffic g, Traffic f -> Ok (diff_traffic g f)
   | Thresholds th, Bench b -> Ok (check_thresholds th b)
   | g, f ->
       Error

@@ -184,6 +184,42 @@ type fuzz = {
   z_cases : fuzz_case list;
 }
 
+(** One tenant's row of a traffic report. *)
+type traffic_tenant = {
+  tt_tenant : int;
+  tt_ops : int;  (** load-phase ops by this tenant's clients *)
+  tt_viol : int;  (** crash states losing this tenant's durable data *)
+  tt_cross : int;  (** of those, charged to another tenant's write *)
+}
+
+(** A multi-tenant traffic campaign ({!Iron_traffic.Traffic.report}):
+    load-phase throughput and latency in {e simulated} time plus the
+    blast-radius crash accounting — all integers, compared exactly. *)
+type traffic = {
+  t_fs : string;
+  t_clients : int;
+  t_tenants : int;
+  t_seed : int;
+  t_zipf_milli : int;
+  t_arrival : string;
+  t_duration_ms : int;
+  t_num_blocks : int;
+  t_ops : int;
+  t_errors : int;
+  t_ops_per_sim_sec : int;
+  t_p50_us : int;
+  t_p99_us : int;
+  t_op_counts : (string * int) list;
+  t_chunks_touched : int;
+  t_blocks_touched : int;
+  t_states : int;
+  t_tc : int;
+  t_viol : int;
+  t_cross : int;
+  t_mount_viol : int;
+  t_per_tenant : traffic_tenant list;
+}
+
 type t =
   | Fingerprint of fingerprint
   | Crash of crash
@@ -192,16 +228,17 @@ type t =
   | Bench of bench
   | Thresholds of thresholds
   | Fuzz of fuzz
+  | Traffic of traffic
 
 val kind_name : t -> string
 (** ["fingerprint"] | ["crash"] | ["forensics"] | ["metrics"] |
-    ["bench"] | ["bench-thresholds"] | ["fuzz"]. *)
+    ["bench"] | ["bench-thresholds"] | ["fuzz"] | ["traffic"]. *)
 
 val filename : t -> string
 (** Canonical basename for an artifact directory:
     [fingerprint-<fs>.json], [crash-<fs>.json], [forensics-<fs>.json],
     [metrics-<name>.json], [bench.json], [bench-thresholds.json],
-    [fuzz-<fs>.json]. *)
+    [fuzz-<fs>.json], [traffic-<fs>.json]. *)
 
 (** {1 Builders} *)
 
@@ -237,6 +274,11 @@ val of_fuzz : Iron_fuzz.Fuzz.report -> t
     minimized op subsequence. Deterministic by the campaign's
     contract, so the artifact compares exactly. *)
 
+val of_traffic : Iron_traffic.Traffic.report -> t
+(** Capture a traffic campaign. Every field is simulated-time or a
+    count — deterministic by the simulator's contract (byte-identical
+    for any [-j] at a fixed seed), so the artifact compares exactly. *)
+
 (** {1 Encoding}
 
     [to_string] is canonical: equal artifacts are byte-equal, so golden
@@ -261,7 +303,9 @@ type item = {
 
 val is_exact_metric : string -> bool
 (** Bench metrics compared exactly: state/violation/Tc counts,
-    forensics chain/culprit/probe counts and job counts. Everything
+    forensics chain/culprit/probe counts, job counts, and the traffic
+    simulator's simulated-time metrics (ops, ops/sim-sec, latency
+    quantiles, touched-footprint counts). Everything
     else in a bench record (wall-clock, per-cycle microseconds,
     allocation bytes, speedups) is a timing-class metric compared
     under tolerance. *)

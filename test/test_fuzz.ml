@@ -62,6 +62,16 @@ let test_args_table () =
       ("brand known", u (Args.brand ~known "ext3"), None);
       ("brand unknown", u (Args.brand ~known "ext5"), Some "ext5");
       ("brand lists known", u (Args.brand ~known "nope"), Some "ixt3");
+      ("zipf 0", u (Args.zipf 0.0), None);
+      ("zipf 0.75", u (Args.zipf 0.75), None);
+      ("zipf 2", u (Args.zipf 2.0), None);
+      ("zipf negative", u (Args.zipf (-0.1)), Some "--zipf");
+      ("zipf too skewed", u (Args.zipf 2.5), Some "--zipf");
+      ("zipf nan", u (Args.zipf Float.nan), Some "--zipf");
+      ("arrival poisson", u (Args.arrival "poisson"), None);
+      ("arrival closed", u (Args.arrival "closed"), None);
+      ("arrival mixed", u (Args.arrival "mixed"), None);
+      ("arrival unknown", u (Args.arrival "bursty"), Some "--arrival");
     ]
 
 (* The installed binary rejects the same inputs with exit code 2 and a
@@ -95,6 +105,10 @@ let test_cli_exit_codes () =
           ("fuzz ext3 --samples 0", 2);
           ("fuzz no-such-fs", 2);
           ("crash --states 0", 2);
+          ("traffic ext3 --zipf 3.0", 2);
+          ("traffic ext3 --arrival bursty", 2);
+          ("traffic ext3 --clients 0", 2);
+          ("traffic no-such-fs", 2);
         ]
 
 (* ------------------------------------------------------------------ *)

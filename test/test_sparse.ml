@@ -1,0 +1,332 @@
+(* Differential tests pinning the sparse chunk-indexed device to the
+   dense reference implementation, plus the O(touched) scaling claims
+   the traffic simulator depends on.
+
+   The contract is "Sparse ≡ Memdisk through the device interface" —
+   same data, same errors, same service-time charges, same statistics —
+   including under armed faults and the Obs wrapper, checked as qcheck
+   properties over random operation sequences. The zero-write
+   optimization (a write of zeroes to a still-zero block materializes
+   nothing) must be behaviorally invisible; only the footprint
+   measurements may see it. *)
+
+open Iron_disk
+open Iron_fault
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Small geometry, small chunks, so op sequences cross chunk
+   boundaries; the timing model stays ON so clock and seek behaviour
+   are part of the comparison. *)
+let nb = 48
+let chunk = 8
+
+let params seed =
+  { Memdisk.default_params with Memdisk.block_size = 512; num_blocks = nb; seed }
+
+let err_str = function
+  | Dev.Eio -> "EIO"
+  | Dev.Enxio -> "ENXIO"
+
+let res_str = function
+  | Ok data -> "ok:" ^ Digest.to_hex (Digest.bytes data)
+  | Error e -> "err:" ^ err_str e
+
+let unit_str = function
+  | Ok () -> "ok"
+  | Error e -> "err:" ^ err_str e
+
+(* --- the operation language ------------------------------------------ *)
+
+(* Write fill 0 is all-zeroes: the sparse zero-skip path runs inside
+   the differential comparison, not beside it. *)
+type op =
+  | Read of int
+  | Read_into of int
+  | Write of int * int (* block, fill byte; 0 = the zero-skip path *)
+  | Bad_write of int
+  | Sync
+  | Snapshot
+  | Restore
+
+let op_gen =
+  let open QCheck.Gen in
+  let blk = int_range (-2) (nb + 4) in
+  frequency
+    [
+      (4, map (fun b -> Read b) blk);
+      (4, map (fun b -> Read_into b) blk);
+      (5, map2 (fun b s -> Write (b, s)) blk (int_bound 255));
+      (2, map (fun b -> Write (b, 0)) blk);
+      (1, map (fun b -> Bad_write b) blk);
+      (1, return Sync);
+      (2, return Snapshot);
+      (2, return Restore);
+    ]
+
+let op_print = function
+  | Read b -> Printf.sprintf "Read %d" b
+  | Read_into b -> Printf.sprintf "Read_into %d" b
+  | Write (b, s) -> Printf.sprintf "Write (%d, %d)" b s
+  | Bad_write b -> Printf.sprintf "Bad_write %d" b
+  | Sync -> "Sync"
+  | Snapshot -> "Snapshot"
+  | Restore -> "Restore"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map op_print l))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let fill seed = Bytes.make 512 (Char.chr (seed land 0xff))
+
+let step dev ~snap ~restore = function
+  | Read b -> res_str (dev.Dev.read b)
+  | Read_into b ->
+      let buf = Bytes.create dev.Dev.block_size in
+      let r = dev.Dev.read_into b buf in
+      (match r with
+      | Ok () -> "ok:" ^ Digest.to_hex (Digest.bytes buf)
+      | Error e -> "err:" ^ err_str e)
+  | Write (b, s) -> unit_str (dev.Dev.write b (fill s))
+  | Bad_write b -> unit_str (dev.Dev.write b (Bytes.create 7))
+  | Sync -> unit_str (dev.Dev.sync ())
+  | Snapshot ->
+      snap ();
+      "snap"
+  | Restore ->
+      restore ();
+      "restore"
+
+let stats_str (s : Memdisk.stats) now =
+  Printf.sprintf "r=%d w=%d s=%d seeks=%d ms=%.6f now=%.6f" s.Memdisk.reads
+    s.writes s.syncs s.seeks s.elapsed_ms now
+
+let prop_sparse_equiv_memdisk =
+  QCheck.Test.make ~name:"Sparse ≡ Memdisk under random ops" ~count:150
+    QCheck.(pair (int_bound 1000) ops_arb)
+    (fun (seed, ops) ->
+      let flat = Memdisk.create ~params:(params seed) () in
+      let sp = Sparse.create ~params:(params seed) ~chunk_blocks:chunk () in
+      let fdev = Memdisk.dev flat and sdev = Sparse.dev sp in
+      let fsnap = ref (Memdisk.snapshot flat) in
+      let ssnap = ref (Sparse.snapshot sp) in
+      List.for_all
+        (fun op ->
+          let a =
+            step fdev
+              ~snap:(fun () -> fsnap := Memdisk.snapshot flat)
+              ~restore:(fun () -> Memdisk.restore flat !fsnap)
+              op
+          in
+          let b =
+            step sdev
+              ~snap:(fun () -> ssnap := Sparse.snapshot sp)
+              ~restore:(fun () -> Sparse.restore sp !ssnap)
+              op
+          in
+          let sa = stats_str (Memdisk.stats flat) (fdev.Dev.now ()) in
+          let sb = stats_str (Sparse.stats sp) (sdev.Dev.now ()) in
+          if a <> b then
+            QCheck.Test.fail_reportf "op %s: flat %s vs sparse %s" (op_print op)
+              a b
+          else if sa <> sb then
+            QCheck.Test.fail_reportf "op %s: stats %s vs %s" (op_print op) sa sb
+          else true)
+        ops
+      && List.for_all
+           (fun b -> Bytes.equal (Memdisk.peek flat b) (Sparse.peek sp b))
+           (List.init nb Fun.id))
+
+(* --- equivalence through Fault + Obs under armed rules ---------------- *)
+
+let event_str (e : Fault.event) = Format.asprintf "%a" Fault.pp_event e
+
+(* Twin stacks over identical rules; one on Memdisk, one on Sparse.
+   Data, errors, the injector's event trace and the metrics registry
+   must be indistinguishable under mixed reads and writes. *)
+let build_faulty dev_of create seed =
+  let d = create seed in
+  let obs = Iron_obs.Obs.create () in
+  let inj = Fault.create ~obs (dev_of d) in
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 3) Fault.Fail_read));
+  ignore
+    (Fault.arm inj
+       (Fault.rule
+          ~persistence:(Fault.Transient 2)
+          (Fault.Block 5)
+          (Fault.Corrupt (Fault.Noise 42))));
+  ignore
+    (Fault.arm inj
+       (Fault.rule (Fault.Range (9, 11)) (Fault.Corrupt Fault.Byte_shift)));
+  ignore (Fault.arm inj (Fault.rule (Fault.Block 13) Fault.Fail_write));
+  (obs, inj, Dev.observe obs (Fault.dev inj))
+
+let mixed_ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map op_print l))
+    QCheck.Gen.(
+      list_size (int_bound 40)
+        (frequency
+           [
+             (4, map (fun b -> Read b) (int_range (-1) (nb + 2)));
+             (3, map2 (fun b s -> Write (b, s)) (int_range (-1) (nb + 2))
+                   (int_bound 255));
+             (2, map (fun b -> Write (b, 0)) (int_range (-1) (nb + 2)));
+           ]))
+
+let prop_sparse_equiv_through_fault_and_obs =
+  QCheck.Test.make
+    ~name:"Sparse ≡ Memdisk through Fault+Obs under armed rules" ~count:75
+    QCheck.(pair (int_bound 1000) mixed_ops_arb)
+    (fun (seed, ops) ->
+      let obs_a, inj_a, dev_a =
+        build_faulty Memdisk.dev
+          (fun s ->
+            let d = Memdisk.create ~params:(params s) () in
+            Memdisk.set_time_model d false;
+            d)
+          seed
+      in
+      let obs_b, inj_b, dev_b =
+        build_faulty Sparse.dev
+          (fun s ->
+            let d = Sparse.create ~params:(params s) ~chunk_blocks:chunk () in
+            Sparse.set_time_model d false;
+            d)
+          seed
+      in
+      List.for_all
+        (fun op ->
+          let a = step dev_a ~snap:ignore ~restore:ignore op in
+          let b = step dev_b ~snap:ignore ~restore:ignore op in
+          if a <> b then
+            QCheck.Test.fail_reportf "op %s: memdisk %s vs sparse %s"
+              (op_print op) a b
+          else true)
+        ops
+      &&
+      let ta = List.map event_str (Fault.trace inj_a) in
+      let tb = List.map event_str (Fault.trace inj_b) in
+      ta = tb
+      && Iron_obs.Obs.jsonl_of_snapshot (Iron_obs.Obs.snapshot obs_a)
+         = Iron_obs.Obs.jsonl_of_snapshot (Iron_obs.Obs.snapshot obs_b))
+
+(* --- directed image-discipline and footprint cases -------------------- *)
+
+let test_snapshot_is_frozen () =
+  let sp = Sparse.create ~params:(params 7) ~chunk_blocks:chunk () in
+  let dev = Sparse.dev sp in
+  Dev.write_exn dev 3 (fill 0xAA);
+  let img = Sparse.snapshot sp in
+  Dev.write_exn dev 3 (fill 0xBB);
+  Sparse.restore sp img;
+  check Alcotest.bytes "restore sees frozen bytes" (fill 0xAA)
+    (Dev.read_exn dev 3);
+  check Alcotest.int "restore resets stats" 0 (Sparse.stats sp).Memdisk.writes
+
+let test_zero_write_materializes_nothing () =
+  let sp = Sparse.create ~params:(params 8) ~chunk_blocks:chunk () in
+  let dev = Sparse.dev sp in
+  (* A whole-volume zeroing pass (mkfs's first act): charged, counted,
+     but free. *)
+  for b = 0 to nb - 1 do
+    Dev.write_exn dev b (Bytes.make 512 '\000')
+  done;
+  check Alcotest.int "all writes counted" nb (Sparse.stats sp).Memdisk.writes;
+  check Alcotest.int "no overlay bytes" 0 (Sparse.overlay_bytes sp);
+  let img = Sparse.snapshot sp in
+  check Alcotest.int "no chunks materialized" 0 (Sparse.image_chunks_touched img);
+  (* A real write then materializes exactly one chunk, one block. *)
+  Dev.write_exn dev 20 (fill 0x20);
+  let img = Sparse.snapshot sp in
+  check Alcotest.int "one chunk" 1 (Sparse.image_chunks_touched img);
+  check Alcotest.int "one block" 1 (Sparse.image_blocks_touched img)
+
+let test_restore_is_o_dirty () =
+  let sp = Sparse.create ~params:(params 9) ~chunk_blocks:chunk () in
+  let dev = Sparse.dev sp in
+  let img = Sparse.snapshot sp in
+  Dev.write_exn dev 1 (fill 1);
+  Dev.write_exn dev 2 (fill 2);
+  check Alcotest.int "two dirty blocks" 2 (Sparse.dirty_count sp);
+  Sparse.restore sp img;
+  check Alcotest.int "restore drops the overlay" 0 (Sparse.dirty_count sp);
+  check Alcotest.bytes "block reverted" (Bytes.make 512 '\000')
+    (Dev.read_exn dev 1)
+
+let test_geometry_mismatch_raises () =
+  let sp = Sparse.create ~params:(params 10) ~chunk_blocks:chunk () in
+  let img =
+    Sparse.blank_image ~chunk_blocks:chunk ~block_size:512 ~num_blocks:(nb * 2)
+      ()
+  in
+  (match Sparse.restore sp img with
+  | () -> Alcotest.fail "expected Invalid_argument (num_blocks)"
+  | exception Invalid_argument _ -> ());
+  let img =
+    Sparse.blank_image ~chunk_blocks:(chunk * 2) ~block_size:512 ~num_blocks:nb
+      ()
+  in
+  match Sparse.restore sp img with
+  | () -> Alcotest.fail "expected Invalid_argument (chunk_blocks)"
+  | exception Invalid_argument _ -> ()
+
+let test_chunk_must_be_power_of_two () =
+  match Sparse.blank_image ~chunk_blocks:6 ~block_size:512 ~num_blocks:nb () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* The tentpole's scaling claim: a 1 GiB logical volume (262144 blocks
+   of 4 KiB) holds a full ext3 mkfs + mount + workload in memory
+   proportional to the blocks actually touched — thousands, not a
+   quarter million. *)
+let test_gigabyte_volume_is_o_touched () =
+  let params =
+    { Memdisk.default_params with Memdisk.num_blocks = 262_144; seed = 5 }
+  in
+  let sp = Sparse.create ~params () in
+  Sparse.set_time_model sp false;
+  let dev = Sparse.dev sp in
+  (match Iron_vfs.Fs.mkfs Iron_ext3.Ext3.std dev with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "mkfs");
+  (match Iron_vfs.Fs.mount Iron_ext3.Ext3.std dev with
+  | Ok (Iron_vfs.Fs.Boxed ((module F), t)) ->
+      (match F.creat t "/big" with
+      | Ok fd ->
+          ignore (F.write t fd ~off:0 (Bytes.make 65536 'x'));
+          ignore (F.fsync t fd);
+          ignore (F.close t fd)
+      | Error _ -> Alcotest.fail "creat");
+      ignore (F.unmount t)
+  | Error _ -> Alcotest.fail "mount");
+  let img = Sparse.snapshot sp in
+  let touched = Sparse.image_blocks_touched img in
+  check Alcotest.bool "some blocks touched" true (touched > 0);
+  check Alcotest.bool
+    (Printf.sprintf "touched (%d) well under 1/8 of the volume" touched)
+    true
+    (touched < 262_144 / 8)
+
+let suites =
+  [
+    ( "disk.sparse",
+      [
+        qtest prop_sparse_equiv_memdisk;
+        qtest prop_sparse_equiv_through_fault_and_obs;
+        Alcotest.test_case "snapshot freezes the image" `Quick
+          test_snapshot_is_frozen;
+        Alcotest.test_case "zero writes materialize nothing" `Quick
+          test_zero_write_materializes_nothing;
+        Alcotest.test_case "restore drops only the overlay" `Quick
+          test_restore_is_o_dirty;
+        Alcotest.test_case "geometry mismatch raises" `Quick
+          test_geometry_mismatch_raises;
+        Alcotest.test_case "chunk size must be a power of two" `Quick
+          test_chunk_must_be_power_of_two;
+        Alcotest.test_case "1 GiB volume is O(touched)" `Quick
+          test_gigabyte_volume_is_o_touched;
+      ] );
+  ]

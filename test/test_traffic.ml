@@ -1,0 +1,131 @@
+(* Traffic-simulator determinism and the policy asymmetry it exists to
+   measure.
+
+   The scheduler runs on simulated disk time, so the whole report —
+   throughput, latency quantiles, blast-radius attribution — must be a
+   pure function of (config, brand): byte-identical at any worker
+   count, changed by the seed. The asymmetry test is the headline
+   claim in miniature: ext3's shared journal lets one tenant's crash
+   corrupt another tenant's durable files, while ixt3's checksummed
+   commit refuses to replay the damage. *)
+
+open Iron_traffic
+
+let check = Alcotest.check
+
+(* Small enough to keep tier-1 fast, large enough that the blast-radius
+   enumeration reaches the damaging random crash states (the systematic
+   states come first and are benign). *)
+let cfg =
+  {
+    Traffic.default with
+    Traffic.clients = 120;
+    duration_ms = 2_000;
+    num_blocks = 4_096;
+    states = 1_000;
+  }
+
+let report_bytes ~jobs brand =
+  Iron_report.Report.to_string
+    (Iron_report.Report.of_traffic (Traffic.run ~jobs cfg brand))
+
+let test_jobs_invariance () =
+  let j1 = report_bytes ~jobs:1 Iron_ext3.Ext3.std in
+  let j4 = report_bytes ~jobs:4 Iron_ext3.Ext3.std in
+  check Alcotest.string "ext3 report bytes identical at -j1 and -j4" j1 j4
+
+let test_seed_determinism () =
+  let a = report_bytes ~jobs:2 Iron_ext3.Ext3.ixt3 in
+  let b = report_bytes ~jobs:1 Iron_ext3.Ext3.ixt3 in
+  check Alcotest.string "same seed, same bytes" a b;
+  let other =
+    Iron_report.Report.to_string
+      (Iron_report.Report.of_traffic
+         (Traffic.run { cfg with Traffic.seed = cfg.Traffic.seed + 1 }
+            Iron_ext3.Ext3.ixt3))
+  in
+  check Alcotest.bool "different seed, different bytes" true (a <> other)
+
+let test_policy_asymmetry () =
+  let e = Traffic.run cfg Iron_ext3.Ext3.std in
+  let x = Traffic.run cfg Iron_ext3.Ext3.ixt3 in
+  check Alcotest.bool
+    (Printf.sprintf "ext3 crosses tenant boundaries (%d)" e.Traffic.r_cross)
+    true
+    (e.Traffic.r_cross > 0);
+  check Alcotest.int "ixt3 has zero violations" 0 x.Traffic.r_viol;
+  check Alcotest.int "ixt3 has zero cross-tenant damage" 0 x.Traffic.r_cross;
+  check Alcotest.bool
+    (Printf.sprintf "ixt3 detects torn commits instead (%d)" x.Traffic.r_tc)
+    true
+    (x.Traffic.r_tc > 0);
+  (* Both brands pushed real load. *)
+  check Alcotest.bool "ext3 completed ops" true (e.Traffic.r_ops > 100);
+  check Alcotest.bool "ixt3 completed ops" true (x.Traffic.r_ops > 100)
+
+let test_per_tenant_accounting () =
+  let r = Traffic.run cfg Iron_ext3.Ext3.std in
+  check Alcotest.int "one stat row per tenant" cfg.Traffic.tenants
+    (List.length r.Traffic.r_tenant);
+  let sum =
+    List.fold_left (fun a t -> a + t.Traffic.ts_ops) 0 r.Traffic.r_tenant
+  in
+  check Alcotest.int "tenant ops sum to total" r.Traffic.r_ops sum;
+  let cross =
+    List.fold_left (fun a t -> a + t.Traffic.ts_cross) 0 r.Traffic.r_tenant
+  in
+  check Alcotest.int "tenant cross sums to total" r.Traffic.r_cross cross
+
+let test_artifact_roundtrip () =
+  let r = Traffic.run ~jobs:2 cfg Iron_ext3.Ext3.std in
+  let art = Iron_report.Report.of_traffic r in
+  check Alcotest.string "kind" "traffic" (Iron_report.Report.kind_name art);
+  check Alcotest.string "filename" "traffic-ext3.json"
+    (Iron_report.Report.filename art);
+  let s = Iron_report.Report.to_string art in
+  match Iron_report.Report.of_string s with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok art' ->
+      check Alcotest.string "decode-reencode is the identity" s
+        (Iron_report.Report.to_string art');
+      (match Iron_report.Report.diff art art' with
+      | Ok [] -> ()
+      | Ok items ->
+          Alcotest.failf "self-diff not empty (%d items)" (List.length items)
+      | Error e -> Alcotest.failf "diff: %s" e)
+
+let test_zipf_skews () =
+  (* Uniform (theta 0) spreads load; a skewed distribution concentrates
+     it. Compare the single hottest file's share of picks. *)
+  let picks theta =
+    let z = Zipf.create ~n:64 ~theta in
+    let prng = Iron_util.Prng.create 99 in
+    let counts = Array.make 64 0 in
+    for _ = 1 to 20_000 do
+      let i = Zipf.sample z prng in
+      counts.(i) <- counts.(i) + 1
+    done;
+    Array.fold_left max 0 counts
+  in
+  let flat = picks 0.0 and hot = picks 1.5 in
+  check Alcotest.bool
+    (Printf.sprintf "theta 1.5 concentrates (%d) vs theta 0 (%d)" hot flat)
+    true
+    (hot > 2 * flat)
+
+let suites =
+  [
+    ( "traffic",
+      [
+        Alcotest.test_case "report bytes are jobs-invariant" `Quick
+          test_jobs_invariance;
+        Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
+        Alcotest.test_case "ext3 vs ixt3 asymmetry under load" `Quick
+          test_policy_asymmetry;
+        Alcotest.test_case "per-tenant accounting" `Quick
+          test_per_tenant_accounting;
+        Alcotest.test_case "traffic artifact round-trips" `Quick
+          test_artifact_roundtrip;
+        Alcotest.test_case "zipf skew concentrates load" `Quick test_zipf_skews;
+      ] );
+  ]
